@@ -1,0 +1,16 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the
+paper. pytest-benchmark times the regeneration; the printed tables and
+charts are the reproduction artifact. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def render(result) -> None:
+    """Print a result object's rendering under -s."""
+    print()
+    print(result.render())

@@ -1,0 +1,5 @@
+"""``python -m repro`` — regenerate the paper's tables and figures."""
+
+from repro.cli import main
+
+raise SystemExit(main())

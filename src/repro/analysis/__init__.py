@@ -1,0 +1,20 @@
+"""Result records and presentation helpers for the evaluation harness.
+
+Benchmarks produce :class:`~repro.analysis.tables.Table` objects and
+ASCII series plots so every paper table/figure regenerates as readable
+terminal output (and machine-readable rows for tests).
+"""
+
+from repro.analysis.tables import Table, format_seconds, format_si
+from repro.analysis.figures import ascii_series, Series
+from repro.analysis.viz import WorldView, render_mission
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_si",
+    "ascii_series",
+    "Series",
+    "WorldView",
+    "render_mission",
+]

@@ -1,0 +1,65 @@
+"""ASCII time-series rendering for figure reproduction output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One named (x, y) series."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append a point; x must be non-decreasing."""
+        if self.x and x < self.x[-1]:
+            raise ValueError("series x must be non-decreasing")
+        self.x.append(x)
+        self.y.append(y)
+
+
+def ascii_series(
+    title: str,
+    series: list[Series],
+    width: int = 72,
+    height: int = 14,
+) -> str:
+    """Render series as an ASCII chart (one glyph per series).
+
+    Good enough to eyeball a figure's shape in terminal output; tests
+    assert on the raw series, not the art.
+    """
+    glyphs = "*o+x#@%&"
+    nonempty = [s for s in series if s.x]
+    if not nonempty:
+        return f"== {title} ==\n(no data)"
+    x_min = min(min(s.x) for s in nonempty)
+    x_max = max(max(s.x) for s in nonempty)
+    y_min = min(min(s.y) for s in nonempty)
+    y_max = max(max(s.y) for s in nonempty)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(nonempty):
+        g = glyphs[si % len(glyphs)]
+        for xv, yv in zip(s.x, s.y):
+            col = int((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = g
+    lines = [f"== {title} =="]
+    lines.append(f"y: [{y_min:.3g}, {y_max:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_min:.3g}, {x_max:.3g}]")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={s.name}" for i, s in enumerate(nonempty)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Plain-text tables for benchmark output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format with an SI prefix: 1.23e9 -> '1.23 G'."""
+    if value != value:  # NaN
+        return "-"
+    for threshold, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}g} {unit}".rstrip()
+
+
+def format_seconds(value: float, digits: int = 3) -> str:
+    """Format a duration: 0.00123 -> '1.23 ms'."""
+    if value != value:
+        return "-"
+    if abs(value) >= 1.0:
+        return f"{value:.{digits}g} s"
+    if abs(value) >= 1e-3:
+        return f"{value * 1e3:.{digits}g} ms"
+    return f"{value * 1e6:.{digits}g} us"
+
+
+@dataclass
+class Table:
+    """A titled table of rows with fixed columns.
+
+    ``render()`` produces aligned plain text; ``rows`` stay available
+    as raw values so tests can assert on the numbers.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of the named column."""
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        cells = [self.columns] + [
+            [v if isinstance(v, str) else f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+            for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""ASCII world rendering: maps, costmaps, robot trajectories.
+
+Terminal-grade visualization for examples and debugging: the occupancy
+grid as characters, with optional overlays for the driven path, the
+planned path, the robot, the goal and the WAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.world.geometry import Pose2D
+from repro.world.grid import CellState, OccupancyGrid
+
+#: Glyphs per cell state.
+_STATE_GLYPHS = {
+    int(CellState.FREE): ".",
+    int(CellState.OCCUPIED): "#",
+    int(CellState.UNKNOWN): " ",
+}
+
+
+@dataclass
+class WorldView:
+    """A renderable view of a grid with overlays.
+
+    Overlays draw in priority order: trajectory < plan < markers, so a
+    marker is never hidden by the path passing through it.
+    """
+
+    grid: OccupancyGrid
+    max_cols: int = 78
+    _overlay: dict[tuple[int, int], str] = field(default_factory=dict)
+
+    def _cell(self, x: float, y: float) -> tuple[int, int]:
+        return self.grid.world_to_cell(x, y)
+
+    def add_trajectory(self, xy: np.ndarray, glyph: str = "o") -> "WorldView":
+        """Overlay a driven path ((N, 2) world points)."""
+        pts = np.asarray(xy, dtype=float)
+        for x, y in pts:
+            rc = self._cell(float(x), float(y))
+            self._overlay.setdefault(rc, glyph)
+        return self
+
+    def add_plan(self, xy: np.ndarray, glyph: str = "+") -> "WorldView":
+        """Overlay a planned path (drawn over trajectories)."""
+        pts = np.asarray(xy, dtype=float)
+        for x, y in pts:
+            self._overlay[self._cell(float(x), float(y))] = glyph
+        return self
+
+    def add_marker(self, pose: Pose2D | tuple[float, float], glyph: str) -> "WorldView":
+        """Overlay a single marker (robot 'R', goal 'G', WAP 'W', ...)."""
+        if isinstance(pose, Pose2D):
+            x, y = pose.x, pose.y
+        else:
+            x, y = pose
+        self._overlay[self._cell(x, y)] = glyph
+        return self
+
+    def render(self) -> str:
+        """The world as text, top row = max y (as a human draws maps)."""
+        g = self.grid
+        step = max(1, int(np.ceil(g.cols / self.max_cols)))
+        lines = []
+        for r in range(g.rows - 1, -1, -step):
+            row_chars = []
+            for c in range(0, g.cols, step):
+                # overlays win within the downsampling block
+                glyph = None
+                for rr in range(r, max(r - step, -1), -1):
+                    for cc in range(c, min(c + step, g.cols)):
+                        if (rr, cc) in self._overlay:
+                            glyph = self._overlay[(rr, cc)]
+                            break
+                    if glyph:
+                        break
+                if glyph is None:
+                    block = g.data[max(r - step + 1, 0) : r + 1, c : min(c + step, g.cols)]
+                    if (block == int(CellState.OCCUPIED)).any():
+                        glyph = "#"
+                    elif (block == int(CellState.UNKNOWN)).all():
+                        glyph = " "
+                    else:
+                        glyph = "."
+                row_chars.append(glyph)
+            lines.append("".join(row_chars))
+        return "\n".join(lines)
+
+
+def render_mission(
+    grid: OccupancyGrid,
+    trajectory: np.ndarray | None = None,
+    plan: np.ndarray | None = None,
+    robot: Pose2D | None = None,
+    goal: Pose2D | None = None,
+    wap: tuple[float, float] | None = None,
+    max_cols: int = 78,
+) -> str:
+    """One-call mission picture: map + path + robot + goal + WAP."""
+    view = WorldView(grid, max_cols=max_cols)
+    if trajectory is not None and len(trajectory):
+        view.add_trajectory(trajectory)
+    if plan is not None and len(plan):
+        view.add_plan(plan)
+    if wap is not None:
+        view.add_marker(wap, "W")
+    if goal is not None:
+        view.add_marker(goal, "G")
+    if robot is not None:
+        view.add_marker(robot, "R")
+    return view.render()

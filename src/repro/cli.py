@@ -1,0 +1,92 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1 table2 fig11
+    python -m repro all            # everything (the Fig. 13 matrix is slow)
+
+Each artifact prints its regenerated table or ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    run_ablation_migration_granularity,
+    run_fig7,
+    run_ablation_netqual_metric,
+    run_ablation_velocity_adaptation,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+#: Artifact name -> (runner, description).
+ARTIFACTS: dict[str, tuple[Callable[[], object], str]] = {
+    "table1": (run_table1, "component power budgets (input data)"),
+    "table2": (run_table2, "cycle breakdown + ECN identification (~1 min)"),
+    "table3": (run_table3, "platform specifications"),
+    "fig7": (run_fig7, "UDP kernel-buffer discard trace"),
+    "fig9": (run_fig9, "ECN (SLAM) acceleration sweep"),
+    "fig10": (run_fig10, "VDP acceleration sweep"),
+    "fig11": (run_fig11, "network robustness A->C->A drive"),
+    "fig12": (run_fig12, "max velocity under five deployments (~30 s)"),
+    "fig13": (run_fig13, "end-to-end energy & time matrix (slow, ~3 min)"),
+    "fig14": (run_fig14, "max-vs-real velocity gap"),
+    "ablation-netqual": (run_ablation_netqual_metric, "Algorithm 2 vs latency threshold"),
+    "ablation-granularity": (run_ablation_migration_granularity, "fine-grained vs whole offload"),
+    "ablation-velocity": (run_ablation_velocity_adaptation, "Eq. 2c on/off"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the IPDPS'21 LGV offloading paper.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        help="artifact names (see 'list'), or 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.artifacts)
+    if "list" in names:
+        width = max(len(n) for n in ARTIFACTS)
+        for name, (_, desc) in ARTIFACTS.items():
+            print(f"  {name:<{width}}  {desc}")
+        return 0
+    if "all" in names:
+        names = list(ARTIFACTS)
+
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)} — try 'list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        runner, _ = ARTIFACTS[name]
+        print(f"\n######## {name} ########")
+        t0 = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Computation energy accounting (Eq. 1c).
+
+The meter accumulates, per node, the cycles executed on a host and the
+resulting dynamic energy ``k * C * f^2``, plus the idle baseline
+integrated over wall (virtual) time. Per-node cycle totals are exactly
+what Table II reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.compute.platform import PlatformSpec
+
+
+@dataclass
+class NodeComputeStats:
+    """Per-node accumulation of compute activity on one host."""
+
+    cycles: float = 0.0
+    invocations: int = 0
+    busy_seconds: float = 0.0
+    dynamic_energy_j: float = 0.0
+
+
+@dataclass
+class ComputeEnergyMeter:
+    """Tracks compute energy and per-node cycle breakdown on a host."""
+
+    platform: PlatformSpec
+    per_node: dict[str, NodeComputeStats] = field(
+        default_factory=lambda: defaultdict(NodeComputeStats)
+    )
+    _idle_accounted_until: float = 0.0
+    idle_energy_j: float = 0.0
+
+    def record(self, node: str, cycles: float, busy_seconds: float) -> float:
+        """Account one callback execution; returns its dynamic energy (J)."""
+        e = self.platform.dynamic_energy(cycles)
+        st = self.per_node[node]
+        st.cycles += cycles
+        st.invocations += 1
+        st.busy_seconds += busy_seconds
+        st.dynamic_energy_j += e
+        return e
+
+    def account_idle(self, now: float) -> None:
+        """Integrate idle baseline power up to virtual time ``now``."""
+        if now < self._idle_accounted_until:
+            raise ValueError("idle accounting moving backwards")
+        dt = now - self._idle_accounted_until
+        self.idle_energy_j += self.platform.idle_power_w * dt
+        self._idle_accounted_until = now
+
+    @property
+    def dynamic_energy_j(self) -> float:
+        """Total dynamic compute energy across nodes (J)."""
+        return sum(s.dynamic_energy_j for s in self.per_node.values())
+
+    @property
+    def total_energy_j(self) -> float:
+        """Dynamic + idle energy accounted so far (J)."""
+        return self.dynamic_energy_j + self.idle_energy_j
+
+    def total_cycles(self) -> float:
+        """Total cycles executed across nodes."""
+        return sum(s.cycles for s in self.per_node.values())
+
+    def cycle_breakdown(self) -> dict[str, float]:
+        """Per-node cycle totals — the raw data behind Table II."""
+        return {name: st.cycles for name, st in self.per_node.items()}

@@ -1,0 +1,111 @@
+"""Execution-time model: cycles + threads -> virtual seconds.
+
+The model is Amdahl's law with a per-thread dispatch overhead:
+
+    t(C, n) = [C_serial + C_parallel / min(n, cores)] / f
+              + n * t_dispatch
+
+The overhead term is what makes Fig. 10's VDP curves flat beyond 4
+threads — each trajectory's scoring work is so small that extra
+threads cost more to dispatch than they save — while Fig. 9's SLAM
+curves keep improving on the 24-core server because scanMatch gives
+each thread a large particle batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compute.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class ParallelProfile:
+    """How an algorithm responds to thread-pool parallelization.
+
+    Attributes
+    ----------
+    parallel_fraction:
+        Fraction of cycles in the data-parallel region (Amdahl's p).
+    dispatch_overhead_s:
+        Wall seconds of fixed cost per thread per invocation (pool
+        hand-off, result gather).
+    """
+
+    parallel_fraction: float = 0.0
+    dispatch_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError(f"parallel_fraction must be in [0,1], got {self.parallel_fraction}")
+        if self.dispatch_overhead_s < 0:
+            raise ValueError("dispatch_overhead_s must be non-negative")
+
+
+#: Purely sequential work (no benefit from threads).
+SERIAL_PROFILE = ParallelProfile(0.0, 0.0)
+
+#: GMapping scanMatch: 98% of SLAM cycles are the per-particle loop
+#: (paper §V), and each particle is heavy, so dispatch cost is amortized.
+SLAM_PROFILE = ParallelProfile(parallel_fraction=0.98, dispatch_overhead_s=2.0e-4)
+
+#: DWA trajectory scoring: the scoring loop parallelizes but each
+#: trajectory is cheap, so per-thread dispatch dominates quickly —
+#: this is why Fig. 10 flattens beyond 4 threads.
+DWA_PROFILE = ParallelProfile(parallel_fraction=0.95, dispatch_overhead_s=2.0e-3)
+
+
+class ExecutionModel:
+    """Maps (cycles, threads) to processing time on a platform."""
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+
+    def exec_time(
+        self,
+        cycles: float,
+        threads: int = 1,
+        profile: ParallelProfile = SERIAL_PROFILE,
+    ) -> float:
+        """Virtual seconds to process ``cycles`` with ``threads`` workers.
+
+        ``threads`` beyond the platform's core count still pay dispatch
+        overhead but add no speedup.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        f = self.platform.effective_hz
+        if threads == 1:
+            return cycles / f
+        # SMT hardware threads are not full cores: a hyperthread adds
+        # ~50% of a core's throughput, which is why the 4C/8T gateway
+        # cannot out-scale the 24-core server on heavy parallel work
+        plat = self.platform
+        physical = min(threads, plat.cores)
+        smt_extra = max(0, min(threads, plat.hardware_threads) - plat.cores)
+        eff = physical + 0.5 * smt_extra
+        p = profile.parallel_fraction
+        compute = (cycles * (1.0 - p) + cycles * p / eff) / f
+        return compute + threads * profile.dispatch_overhead_s
+
+    def best_threads(
+        self,
+        cycles: float,
+        profile: ParallelProfile,
+        max_threads: int | None = None,
+    ) -> int:
+        """Thread count minimizing :meth:`exec_time` (scans 1..limit)."""
+        limit = max_threads if max_threads is not None else self.platform.hardware_threads
+        limit = max(1, limit)
+        best_n, best_t = 1, self.exec_time(cycles, 1, profile)
+        for n in range(2, limit + 1):
+            t = self.exec_time(cycles, n, profile)
+            if t < best_t - 1e-15:
+                best_n, best_t = n, t
+        return best_n
+
+    def speedup(self, cycles: float, threads: int, profile: ParallelProfile) -> float:
+        """t(1 thread) / t(``threads``)."""
+        return self.exec_time(cycles, 1, profile) / self.exec_time(cycles, threads, profile)

@@ -1,0 +1,50 @@
+"""A host: one machine that executes middleware nodes.
+
+Hosts tie together a platform spec, the execution-time model and the
+energy meter. The ``on_robot`` flag decides whether the host's compute
+energy counts against the LGV's battery (Eq. 1a only sums robot-side
+energy; cloud watts are free to the vehicle).
+"""
+
+from __future__ import annotations
+
+from repro.compute.energy import ComputeEnergyMeter
+from repro.compute.executor import ExecutionModel, ParallelProfile, SERIAL_PROFILE
+from repro.compute.platform import PlatformSpec
+
+
+class Host:
+    """A compute location for nodes.
+
+    Parameters
+    ----------
+    name:
+        Unique host name ("lgv", "gateway", "cloud-vm0", ...).
+    platform:
+        Hardware spec driving time and energy.
+    on_robot:
+        True only for the LGV's embedded computer.
+    """
+
+    def __init__(self, name: str, platform: PlatformSpec, on_robot: bool = False) -> None:
+        self.name = name
+        self.platform = platform
+        self.on_robot = on_robot
+        self.exec_model = ExecutionModel(platform)
+        self.energy = ComputeEnergyMeter(platform)
+
+    def exec_time(
+        self,
+        cycles: float,
+        threads: int = 1,
+        profile: ParallelProfile = SERIAL_PROFILE,
+    ) -> float:
+        """Virtual seconds this host needs for ``cycles`` with ``threads``."""
+        return self.exec_model.exec_time(cycles, threads, profile)
+
+    def account(self, node: str, cycles: float, busy_seconds: float) -> float:
+        """Record one execution into the energy meter; returns energy (J)."""
+        return self.energy.record(node, cycles, busy_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Host({self.name!r}, {self.platform.name}, on_robot={self.on_robot})"

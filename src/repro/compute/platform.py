@@ -1,0 +1,135 @@
+"""Hardware platform specifications (paper Table III).
+
+The paper offloads from a Turtlebot3 (Raspberry Pi 3B+, low frequency)
+to an edge gateway (i7-7700K, high frequency) or a cloud server
+(Xeon Gold 6149, manycore). Frequency decides serial speed; core count
+decides how far thread-pool parallelization helps — the tension behind
+Figs. 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of a compute platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    freq_hz:
+        Per-core clock frequency (cycles/second).
+    cores:
+        Physical core count available to a thread pool.
+    switched_capacitance:
+        The ``k`` of Eq. 1c (J / (cycle * Hz^2)); chosen so that a fully
+        loaded core dissipates the board's rated dynamic power.
+    idle_power_w:
+        Baseline power of the board while powered but idle.
+    feature:
+        Table III's one-word characterization ("Low Freq", "High Freq",
+        "Manycore").
+    """
+
+    name: str
+    freq_hz: float
+    cores: int
+    switched_capacitance: float
+    idle_power_w: float = 0.0
+    feature: str = ""
+    smt: int = 1  # hardware threads per core (hyper-threading)
+    ipc: float = 1.0  # instructions-per-cycle relative to the reference (the Pi)
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError(f"freq_hz must be positive, got {self.freq_hz}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.switched_capacitance < 0:
+            raise ValueError("switched_capacitance must be non-negative")
+        if self.smt < 1:
+            raise ValueError(f"smt must be >= 1, got {self.smt}")
+        if self.ipc <= 0:
+            raise ValueError(f"ipc must be positive, got {self.ipc}")
+
+    @property
+    def hardware_threads(self) -> int:
+        """Schedulable hardware threads (cores * SMT ways)."""
+        return self.cores * self.smt
+
+    @property
+    def effective_hz(self) -> float:
+        """Reference-cycle retirement rate: frequency * relative IPC.
+
+        Workload costs across this codebase are expressed in
+        *reference cycles* — cycles as counted on the Turtlebot3's
+        Cortex-A53. A deep out-of-order x86 core retires several of
+        those per clock, which is how the paper sees >3x serial
+        speedups from a 3x frequency ratio.
+        """
+        return self.freq_hz * self.ipc
+
+    def serial_time(self, cycles: float) -> float:
+        """Seconds to retire ``cycles`` reference cycles on one core."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles / self.effective_hz
+
+    def dynamic_energy(self, cycles: float) -> float:
+        """Dynamic energy (J) for ``cycles``: E = k * C * f^2 (Eq. 1c).
+
+        Eq. 1c integrates P = k * L * f^2 over time; for a task of C
+        cycles executed at frequency f that integral is k * C * f^2.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return self.switched_capacitance * cycles * self.freq_hz**2
+
+    def max_dynamic_power(self) -> float:
+        """Power when one core is fully loaded: k * f^3."""
+        return self.switched_capacitance * self.freq_hz**3
+
+
+def _k_for_power(power_w: float, freq_hz: float) -> float:
+    """Switched capacitance that yields ``power_w`` at full single-core load."""
+    return power_w / freq_hz**3
+
+
+#: Turtlebot3's Raspberry Pi 3B+: 1.4 GHz, 4 low-power cores. Rated
+#: embedded-computer power is 6.5 W (Table I); ~2 W of that is idle
+#: board draw, the rest dynamic.
+TURTLEBOT3_PI = PlatformSpec(
+    name="turtlebot3-pi",
+    freq_hz=1.4e9,
+    cores=4,
+    switched_capacitance=_k_for_power(4.5, 1.4e9),
+    idle_power_w=2.0,
+    feature="Low Freq",
+)
+
+#: Edge gateway in the lab: Intel i7-7700K, 4.2 GHz, 4 cores / 8 hardware
+#: threads — the paper's Fig. 12 runs it with 8-thread parallelization.
+EDGE_GATEWAY = PlatformSpec(
+    name="edge-gateway",
+    freq_hz=4.2e9,
+    cores=4,
+    switched_capacitance=_k_for_power(91.0, 4.2e9),
+    idle_power_w=20.0,
+    feature="High Freq",
+    smt=2,
+    ipc=2.2,
+)
+
+#: Cloud VM: Intel Xeon Gold 6149, 3.1 GHz, 24 cores.
+CLOUD_SERVER = PlatformSpec(
+    name="cloud-server",
+    freq_hz=3.1e9,
+    cores=24,
+    switched_capacitance=_k_for_power(205.0 / 24, 3.1e9),
+    idle_power_w=60.0,
+    feature="Manycore",
+    ipc=2.0,
+)

@@ -1,0 +1,42 @@
+"""Thread-parallel trajectory scoring (paper §V, Fig. 5).
+
+The paper's parallel path tracking: the main thread generates M
+trajectories, partitions them into N chunks, and a thread pool scores
+each chunk; the highest-scoring trajectory wins. Scoring a slice has
+no shared mutable state, so the parallel result is identical to the
+serial one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compute.threadpool import WorkerPool
+from repro.control.dwa import DwaPlanner, TrajectoryScorer
+from repro.control.trajectory import TrajectorySet
+
+
+class ParallelScorer(TrajectoryScorer):
+    """Scores trajectory chunks on a :class:`WorkerPool`."""
+
+    def __init__(self, n_threads: int = 4) -> None:
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        self.n_threads = n_threads
+        self._pool = WorkerPool(n_threads)
+
+    def score(self, traj: TrajectorySet, planner: DwaPlanner) -> np.ndarray:
+        chunks = self._pool.map_chunks(
+            lambda _i, a, b: self.score_range(traj, planner, a, b), traj.n
+        )
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+    def close(self) -> None:
+        """Release pool threads."""
+        self._pool.shutdown()
+
+    def __enter__(self) -> "ParallelScorer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

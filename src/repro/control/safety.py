@@ -1,0 +1,63 @@
+"""Safety controller: the always-local guard of §IX.
+
+Watches the forward lidar cone; when anything is closer than the stop
+distance it emits a high-priority stop (or slow) command into the
+velocity mux. The paper's discussion section singles out safety-
+critical nodes like this as the ones that must never be offloaded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.world.lidar import LidarScan
+
+
+class SafetyController:
+    """Reactive obstacle guard.
+
+    Parameters
+    ----------
+    stop_distance_m:
+        A return inside this distance in the forward cone triggers a
+        full stop.
+    slow_distance_m:
+        Returns inside this distance cap speed proportionally.
+    cone_half_angle_rad:
+        Half-width of the monitored forward cone.
+    """
+
+    def __init__(
+        self,
+        stop_distance_m: float = 0.14,
+        slow_distance_m: float = 0.4,
+        cone_half_angle_rad: float = 0.6,
+    ) -> None:
+        if not 0 < stop_distance_m < slow_distance_m:
+            raise ValueError("require 0 < stop_distance < slow_distance")
+        self.stop_distance_m = stop_distance_m
+        self.slow_distance_m = slow_distance_m
+        self.cone_half_angle_rad = cone_half_angle_rad
+        self.stops_issued = 0
+
+    def check(self, scan: LidarScan) -> tuple[float, bool]:
+        """Inspect a scan; returns (speed_cap, emergency).
+
+        ``speed_cap`` is 1.0 (no restriction) down to 0.0 (stop), as a
+        multiplier on the commanded speed. ``emergency`` is True for a
+        hard stop.
+        """
+        cone = np.abs(scan.angles) <= self.cone_half_angle_rad
+        valid = scan.valid_mask() & cone
+        if not valid.any():
+            return 1.0, False
+        nearest = float(scan.ranges[valid].min())
+        if nearest <= self.stop_distance_m:
+            self.stops_issued += 1
+            return 0.0, True
+        if nearest <= self.slow_distance_m:
+            frac = (nearest - self.stop_distance_m) / (
+                self.slow_distance_m - self.stop_distance_m
+            )
+            return float(frac), False
+        return 1.0, False

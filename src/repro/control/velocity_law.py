@@ -1,0 +1,57 @@
+"""The velocity law of Eq. 2c: max safe velocity from processing time.
+
+    v_max = a_max * (sqrt(t_p^2 + 2 d / a_max) - t_p)
+
+``t_p`` is the VDP makespan (local + cloud processing + network
+latency) and ``d`` the obstacle-avoidance stopping distance. This is
+the single formula through which every offloading decision reaches the
+wheels: faster perception-control round trips let the vehicle commit
+to higher speeds while still stopping within ``d``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Obstacle-avoidance stopping distance (m) used by the controller.
+#: Together with DEFAULT_MAX_ACCEL this calibrates Eq. 2c so a ~1 s
+#: local VDP yields ~0.2 m/s and a ~50 ms offloaded VDP ~0.8-0.9 m/s,
+#: the 4-5x spread of the paper's Fig. 12.
+DEFAULT_STOP_DISTANCE_M = 0.2
+#: Planning deceleration limit (m/s^2) used by the velocity law.
+DEFAULT_MAX_ACCEL = 2.0
+
+
+def max_velocity_oa(
+    processing_time_s: float,
+    stop_distance_m: float = DEFAULT_STOP_DISTANCE_M,
+    max_accel: float = DEFAULT_MAX_ACCEL,
+    hardware_cap: float | None = None,
+) -> float:
+    """Maximum velocity allowed by Eq. 2c.
+
+    Parameters
+    ----------
+    processing_time_s:
+        VDP makespan t_p (the robot is blind for this long).
+    stop_distance_m:
+        Required stopping distance d.
+    max_accel:
+        Maximum deceleration a_max.
+    hardware_cap:
+        Optional mechanical velocity limit to clip against.
+
+    Returns
+    -------
+    The velocity (m/s) from which the vehicle can still stop within
+    ``d`` after a ``t_p`` reaction delay.
+    """
+    if processing_time_s < 0:
+        raise ValueError(f"processing time must be non-negative, got {processing_time_s}")
+    if stop_distance_m <= 0 or max_accel <= 0:
+        raise ValueError("stop distance and accel must be positive")
+    tp = processing_time_s
+    v = max_accel * (math.sqrt(tp * tp + 2.0 * stop_distance_m / max_accel) - tp)
+    if hardware_cap is not None:
+        v = min(v, hardware_cap)
+    return v

@@ -1,0 +1,62 @@
+"""The paper's contribution: analytical model, fine-grained migration,
+cloud acceleration policy, real-time network adjustment, and the
+end-to-end ROBOT/WORKER framework.
+
+* :mod:`repro.core.model` — §III's energy / completion-time equations.
+* :mod:`repro.core.bottleneck` — ECN / VDP identification (§IV-A, Fig. 4).
+* :mod:`repro.core.migration` — Algorithm 1, the offloading strategy.
+* :mod:`repro.core.netqual` — Algorithm 2, bandwidth + signal-direction
+  network quality control.
+* :mod:`repro.core.profiler` / :mod:`repro.core.switcher` /
+  :mod:`repro.core.controller` — the three ROBOT-module threads of §VII.
+* :mod:`repro.core.framework` — the assembled end-to-end system.
+"""
+
+from repro.core.model import (
+    AnalyticalModel,
+    EnergyBreakdown,
+    energy_compute,
+    energy_motor,
+    energy_transmission,
+    mission_time,
+    standby_time,
+)
+from repro.core.bottleneck import (
+    NodeClass,
+    NodeClassification,
+    VDP_NODES,
+    classify_nodes,
+    find_ecns,
+)
+from repro.core.migration import MigrationPlan, OffloadingGoal, OffloadingStrategy
+from repro.core.netqual import NetworkQualityController, QualityDecision
+from repro.core.profiler import Profiler, VdpSample
+from repro.core.switcher import Switcher
+from repro.core.controller import Controller
+from repro.core.framework import OffloadingFramework, FrameworkConfig
+
+__all__ = [
+    "AnalyticalModel",
+    "EnergyBreakdown",
+    "energy_compute",
+    "energy_motor",
+    "energy_transmission",
+    "mission_time",
+    "standby_time",
+    "NodeClass",
+    "NodeClassification",
+    "VDP_NODES",
+    "classify_nodes",
+    "find_ecns",
+    "MigrationPlan",
+    "OffloadingGoal",
+    "OffloadingStrategy",
+    "NetworkQualityController",
+    "QualityDecision",
+    "Profiler",
+    "VdpSample",
+    "Switcher",
+    "Controller",
+    "OffloadingFramework",
+    "FrameworkConfig",
+]

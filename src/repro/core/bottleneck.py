@@ -1,0 +1,114 @@
+"""Bottleneck identification: Energy-Critical Nodes and the VDP (§IV-A).
+
+An **ECN** consumes a major share of the workload's cycles (Table II's
+bold column: CostmapGen, Path Tracking, SLAM). The **VDP** is the
+velocity-dependent execution path CostmapGen -> Path Tracking ->
+Velocity Multiplexer whose makespan bounds the maximum velocity.
+Crossing the two yields Fig. 4's four classes, which Algorithm 1
+treats differently:
+
+=====  ==========  =======  ==========================================
+class  ECN?        in VDP?  examples / treatment
+=====  ==========  =======  ==========================================
+T1     yes         no       SLAM — offload for energy
+T2     no          yes      Velocity Multiplexer — always local
+T3     yes         yes      CostmapGen, Path Tracking — offload for
+                            time AND energy (revert if network poor)
+T4     no          no       Localization(laser), Path Planning,
+                            Exploration — leave local (lightweight)
+=====  ==========  =======  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+#: Canonical node names of the Fig. 2 pipeline.
+VDP_NODES: tuple[str, ...] = ("costmap_gen", "path_tracking", "velocity_mux")
+
+#: Fraction of total cycles above which a node counts as energy-critical.
+ECN_SHARE_THRESHOLD = 0.10
+
+
+class NodeClass(Enum):
+    """Fig. 4's quadrants."""
+
+    T1_ECN_ONLY = "T1"
+    T2_VDP_ONLY = "T2"
+    T3_ECN_AND_VDP = "T3"
+    T4_NEITHER = "T4"
+
+
+@dataclass
+class NodeClassification:
+    """Result of classifying one workload's nodes."""
+
+    classes: dict[str, NodeClass]
+    ecns: tuple[str, ...]
+    shares: dict[str, float] = field(default_factory=dict)
+
+    def nodes_in(self, cls: NodeClass) -> tuple[str, ...]:
+        """Node names in the given class, insertion-ordered."""
+        return tuple(n for n, c in self.classes.items() if c is cls)
+
+    @property
+    def offload_for_energy(self) -> tuple[str, ...]:
+        """Algorithm 1's EC set: all ECNs (T1 + T3)."""
+        return self.nodes_in(NodeClass.T1_ECN_ONLY) + self.nodes_in(
+            NodeClass.T3_ECN_AND_VDP
+        )
+
+    @property
+    def offload_for_time(self) -> tuple[str, ...]:
+        """Algorithm 1's MCT-critical set: ECNs inside the VDP (T3)."""
+        return self.nodes_in(NodeClass.T3_ECN_AND_VDP)
+
+
+def find_ecns(
+    cycle_breakdown: dict[str, float],
+    threshold: float = ECN_SHARE_THRESHOLD,
+) -> tuple[str, ...]:
+    """Nodes whose cycle share exceeds ``threshold`` (Table II's ECNs)."""
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    total = sum(cycle_breakdown.values())
+    if total <= 0:
+        return ()
+    return tuple(
+        name for name, c in cycle_breakdown.items() if c / total >= threshold
+    )
+
+
+def classify_nodes(
+    cycle_breakdown: dict[str, float],
+    vdp_nodes: tuple[str, ...] = VDP_NODES,
+    threshold: float = ECN_SHARE_THRESHOLD,
+    pinned_local: tuple[str, ...] = ("velocity_mux",),
+) -> NodeClassification:
+    """Classify every profiled node into Fig. 4's quadrants.
+
+    ``pinned_local`` nodes are forced out of the ECN set even if their
+    cycle share is high — the mux must feed the actuators locally (and
+    §IX extends this to any safety-critical node).
+    """
+    total = sum(cycle_breakdown.values())
+    shares = {
+        n: (c / total if total > 0 else 0.0) for n, c in cycle_breakdown.items()
+    }
+    ecns = tuple(
+        n for n in find_ecns(cycle_breakdown, threshold) if n not in pinned_local
+    )
+    classes: dict[str, NodeClass] = {}
+    for name in cycle_breakdown:
+        is_ecn = name in ecns
+        in_vdp = name in vdp_nodes
+        if is_ecn and in_vdp:
+            classes[name] = NodeClass.T3_ECN_AND_VDP
+        elif is_ecn:
+            classes[name] = NodeClass.T1_ECN_ONLY
+        elif in_vdp:
+            classes[name] = NodeClass.T2_VDP_ONLY
+        else:
+            classes[name] = NodeClass.T4_NEITHER
+    return NodeClassification(classes=classes, ecns=ecns, shares=shares)

@@ -1,0 +1,76 @@
+"""The Controller thread (§VII): runtime parameter adjustment.
+
+Exposes the two actuation knobs the paper's Controller drives through
+ROS APIs:
+
+* **maximum velocity** — recomputed from the current VDP makespan via
+  Eq. 2c after every offloading decision;
+* **decision accuracy** — the trajectory-sample / particle counts,
+  which §VIII-E suggests lowering in obstacle-dense phases where the
+  vehicle can't reach v_max anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.control.velocity_law import (
+    DEFAULT_MAX_ACCEL,
+    DEFAULT_STOP_DISTANCE_M,
+    max_velocity_oa,
+)
+
+
+@dataclass
+class Controller:
+    """Velocity and accuracy actuation.
+
+    Parameters
+    ----------
+    set_velocity_cap:
+        Callback into the vehicle (``LGV.set_velocity_cap``).
+    hardware_cap:
+        Mechanical velocity ceiling (m/s).
+    stop_distance_m, max_accel:
+        Eq. 2c constants.
+    """
+
+    set_velocity_cap: Callable[[float], None]
+    hardware_cap: float = 1.0
+    stop_distance_m: float = DEFAULT_STOP_DISTANCE_M
+    max_accel: float = DEFAULT_MAX_ACCEL
+    velocity_history: list[tuple[float, float]] = field(default_factory=list)
+    accuracy_history: list[tuple[float, int]] = field(default_factory=list)
+    _accuracy_setters: list[Callable[[int], None]] = field(default_factory=list)
+
+    def update_velocity(self, now: float, vdp_time_s: float) -> float:
+        """Apply Eq. 2c for the measured VDP makespan; returns v_max."""
+        v = max_velocity_oa(
+            vdp_time_s,
+            self.stop_distance_m,
+            self.max_accel,
+            hardware_cap=self.hardware_cap,
+        )
+        self.set_velocity_cap(v)
+        self.velocity_history.append((now, v))
+        return v
+
+    def register_accuracy_setter(self, setter: Callable[[int], None]) -> None:
+        """Register a node hook that accepts a new sample/particle count."""
+        self._accuracy_setters.append(setter)
+
+    def set_accuracy(self, now: float, level: int) -> None:
+        """Push a decision-accuracy level to all registered nodes."""
+        if level < 1:
+            raise ValueError(f"accuracy level must be >= 1, got {level}")
+        for setter in self._accuracy_setters:
+            setter(level)
+        self.accuracy_history.append((now, level))
+
+    @property
+    def current_velocity_cap(self) -> float:
+        """Most recently applied cap (hardware cap before any update)."""
+        if not self.velocity_history:
+            return self.hardware_cap
+        return self.velocity_history[-1][1]

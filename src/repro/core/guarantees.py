@@ -1,0 +1,124 @@
+"""Formal properties of the offloading strategy (§IX's open problem).
+
+The paper's discussion calls theoretical verification of the strategy
+"a challenging and open problem" and leaves it to future work. This
+module pins down the pieces that *can* be stated and checked exactly
+against our models — small lemmas, not a full proof of optimality,
+each verified empirically by the property tests:
+
+1. **No-thrash guarantee.** With hysteresis ``h``, Algorithm 1 cannot
+   oscillate between placements if the profiling noise on the VDP
+   ratio is below ``h`` (Lemma :func:`min_hysteresis_for_noise`).
+2. **Safety of Eq. 2c.** The velocity law guarantees the stopping
+   distance for any processing time, including the measurement being
+   an *underestimate* by a bounded factor
+   (:func:`velocity_safety_margin`).
+3. **Decision correctness band.** Offloading the VDP is beneficial iff
+   the network round trip stays below a closed-form latency budget
+   (:func:`offload_latency_budget`); Algorithm 1's comparison
+   implements exactly this test.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.control.velocity_law import max_velocity_oa
+
+
+def min_hysteresis_for_noise(relative_noise: float) -> float:
+    """Smallest hysteresis that provably prevents placement thrash.
+
+    Let the true VDP ratio be ``rho = T_c / T_l`` and measurements be
+    multiplicatively noisy within ``[rho(1-e), rho(1+e)]``. Algorithm 1
+    switches server->robot when the measured ratio exceeds ``1+h`` and
+    robot->server when it is below ``1-h``. Both can fire across
+    consecutive samples of the *same* true state only if
+
+        rho (1+e) > 1+h   and   rho (1-e) < 1-h
+
+    which requires ``(1+h)/(1+e) < rho < (1-h)/(1-e)``. That interval
+    is empty whenever ``(1+h)(1-e) >= (1-h)(1+e)``, i.e. ``h >= e``.
+    So hysteresis equal to the noise bound suffices.
+    """
+    if not 0 <= relative_noise < 1:
+        raise ValueError(f"relative noise must be in [0, 1), got {relative_noise}")
+    return relative_noise
+
+
+def thrash_possible(rho: float, noise: float, hysteresis: float) -> bool:
+    """Whether a noisy measurement sequence could flip the placement
+    both ways at true ratio ``rho`` (the condition the lemma excludes)."""
+    if rho <= 0:
+        raise ValueError("rho must be positive")
+    can_go_local = rho * (1 + noise) > 1 + hysteresis
+    can_go_remote = rho * (1 - noise) < 1 - hysteresis
+    return can_go_local and can_go_remote
+
+
+def velocity_safety_margin(
+    tp_measured: float,
+    underestimate_factor: float,
+    stop_distance_m: float = 0.2,
+    max_accel: float = 2.0,
+) -> float:
+    """Worst-case stopping distance when ``t_p`` was underestimated.
+
+    If the true processing time is ``tp_measured * underestimate_factor``
+    (factor >= 1) but the velocity was set from the measured value,
+    the vehicle travels ``v * tp_true + v^2 / (2 a)`` before stopping.
+    Returns that distance; callers compare it against the physical
+    clearance they actually have.
+    """
+    if underestimate_factor < 1:
+        raise ValueError("underestimate_factor must be >= 1")
+    v = max_velocity_oa(tp_measured, stop_distance_m, max_accel)
+    tp_true = tp_measured * underestimate_factor
+    return v * tp_true + v * v / (2 * max_accel)
+
+
+def safe_underestimate_factor(
+    tp_measured: float,
+    clearance_m: float,
+    stop_distance_m: float = 0.2,
+    max_accel: float = 2.0,
+) -> float:
+    """Largest profiling underestimate the clearance still tolerates.
+
+    Solves ``v tp f + v^2/(2a) <= clearance`` for ``f``; infinite when
+    the vehicle is stationary.
+    """
+    if clearance_m <= 0:
+        raise ValueError("clearance must be positive")
+    v = max_velocity_oa(tp_measured, stop_distance_m, max_accel)
+    if v * tp_measured <= 0:
+        return math.inf
+    budget = clearance_m - v * v / (2 * max_accel)
+    if budget <= 0:
+        return 0.0
+    return budget / (v * tp_measured)
+
+
+def offload_latency_budget(
+    local_vdp_s: float,
+    cloud_proc_s: float,
+) -> float:
+    """Max round-trip latency at which offloading the VDP still wins.
+
+    From Eq. 2b/2c: v_max is monotone decreasing in t_p, so offloading
+    helps iff ``cloud_proc + rtt < local_vdp``; the budget is simply
+    their difference (negative = never offload). Algorithm 1's
+    ``T_c > T_l^v`` comparison is the runtime form of this test.
+    """
+    if local_vdp_s < 0 or cloud_proc_s < 0:
+        raise ValueError("times must be non-negative")
+    return local_vdp_s - cloud_proc_s
+
+
+def offload_beneficial(
+    local_vdp_s: float, cloud_proc_s: float, rtt_s: float
+) -> bool:
+    """Ground truth of the offloading decision under the Eq. 2 model."""
+    if rtt_s < 0:
+        raise ValueError("rtt must be non-negative")
+    return max_velocity_oa(cloud_proc_s + rtt_s) > max_velocity_oa(local_vdp_s)

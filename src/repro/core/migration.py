@@ -1,0 +1,121 @@
+"""Algorithm 1: the fine-grained offloading strategy (§IV-B).
+
+Given the node classification and an optimization goal, the strategy
+decides *which nodes run where*:
+
+* **EC** (reduce energy): offload every ECN (T1 + T3); keep the
+  lightweight rest (T2 + T4) on the LGV.
+* **MCT** (shorten completion time): submit all ECNs to the server,
+  then continuously compare the local VDP makespan ``T_l^v`` against
+  the cloud VDP makespan ``T_c`` (processing + network latency). If
+  ``T_c > T_l^v`` the T3 nodes migrate back to the LGV.
+
+After every decision the maximum velocity is reset from the winning
+VDP makespan via Eq. 2c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.bottleneck import NodeClass, NodeClassification
+
+
+class OffloadingGoal(Enum):
+    """The two optimization goals Algorithm 1 exposes to programmers."""
+
+    ENERGY = "EC"
+    COMPLETION_TIME = "MCT"
+
+
+@dataclass
+class MigrationPlan:
+    """Where each decided node should run."""
+
+    to_server: tuple[str, ...]
+    to_robot: tuple[str, ...]
+    vdp_time_s: float
+
+    def placement(self, node: str) -> str:
+        """'server', 'robot', or 'unchanged' for ``node``."""
+        if node in self.to_server:
+            return "server"
+        if node in self.to_robot:
+            return "robot"
+        return "unchanged"
+
+
+@dataclass
+class OffloadingStrategy:
+    """Algorithm 1 as a reusable decision object.
+
+    Parameters
+    ----------
+    classification:
+        ECN/VDP classification of the running workload.
+    goal:
+        EC or MCT.
+    hysteresis:
+        Relative margin by which ``T_c`` must beat/lose to ``T_l^v``
+        before switching, to avoid migration thrash on noisy profiles.
+    """
+
+    classification: NodeClassification
+    goal: OffloadingGoal = OffloadingGoal.COMPLETION_TIME
+    hysteresis: float = 0.1
+    t3_on_server: bool = field(default=False, init=False)
+    decisions: int = field(default=0, init=False)
+
+    def initial_plan(self) -> MigrationPlan:
+        """The submit-everything-first step of Algorithm 1.
+
+        Both goals begin by sending all ECNs to the remote server;
+        MCT may later pull T3 back based on measured VDP times.
+        """
+        self.t3_on_server = True
+        self.decisions += 1
+        return MigrationPlan(
+            to_server=self.classification.offload_for_energy,
+            to_robot=(),
+            vdp_time_s=float("nan"),
+        )
+
+    def decide(self, t_local_vdp_s: float, t_cloud_vdp_s: float) -> MigrationPlan:
+        """One Algorithm-1 iteration given fresh VDP measurements.
+
+        ``t_local_vdp_s`` is the would-be makespan with all VDP nodes
+        local; ``t_cloud_vdp_s`` includes network latency (Eq. 2b).
+        Returns the (possibly empty) migration plan; also updates the
+        internally tracked T3 placement.
+        """
+        if t_local_vdp_s < 0 or t_cloud_vdp_s < 0:
+            raise ValueError("VDP times must be non-negative")
+        self.decisions += 1
+        t3 = self.classification.offload_for_time
+        to_server: tuple[str, ...] = ()
+        to_robot: tuple[str, ...] = ()
+
+        if self.goal is OffloadingGoal.COMPLETION_TIME:
+            if self.t3_on_server and t_cloud_vdp_s > t_local_vdp_s * (1 + self.hysteresis):
+                to_robot = t3
+                self.t3_on_server = False
+            elif not self.t3_on_server and t_cloud_vdp_s < t_local_vdp_s * (
+                1 - self.hysteresis
+            ):
+                to_server = t3
+                self.t3_on_server = True
+        else:
+            # EC: placement is static (all ECNs remote); energy does not
+            # depend on where the VDP latency lands, only on local cycles.
+            if not self.t3_on_server:
+                to_server = t3
+                self.t3_on_server = True
+
+        vdp = t_cloud_vdp_s if self.t3_on_server else t_local_vdp_s
+        return MigrationPlan(to_server=to_server, to_robot=to_robot, vdp_time_s=vdp)
+
+    @property
+    def current_vdp_location(self) -> str:
+        """Where the T3 nodes currently run: 'server' or 'robot'."""
+        return "server" if self.t3_on_server else "robot"

@@ -1,0 +1,204 @@
+"""The analytical model of §III (Equations 1a-1d and 2a-2c).
+
+These closed forms predict mission energy and completion time from the
+deployment configuration, and are what Algorithm 1 reasons with before
+any packet is sent. The simulator then measures the same quantities;
+benchmarks compare the two.
+
+Energy (Eq. 1):
+    E_total  = E_ec + E_m + E_trans                      (1a)
+    E_trans  = P_trans * D_trans / R_uplink              (1b)
+    E_ec     = integral sum_n k * L_{n,t} * f^2 dt       (1c)
+    E_m      = integral (P_l + m (a + g mu) v) dt        (1d)
+
+Time (Eq. 2):
+    T    = T_s + T_m                                     (2a)
+    T_s ~ t_p = t_p^R + t_p^C + t_c                      (2b)
+    T_m ~ 1 / v_max,   v_max from Eq. 2c
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.velocity_law import max_velocity_oa
+from repro.vehicle.motor import G
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Predicted mission energy, per Eq. 1a's three terms (J)."""
+
+    compute_j: float
+    motor_j: float
+    transmission_j: float
+
+    @property
+    def total_j(self) -> float:
+        """E_total of Eq. 1a."""
+        return self.compute_j + self.motor_j + self.transmission_j
+
+
+def energy_transmission(
+    tx_power_w: float, data_bytes: float, uplink_bps: float
+) -> float:
+    """Eq. 1b: E_trans = P_trans * D_trans / R_uplink (J).
+
+    Receive energy is ignored, as the paper does (downlink payloads
+    are tiny velocity commands).
+    """
+    if tx_power_w < 0 or data_bytes < 0:
+        raise ValueError("power and data must be non-negative")
+    if uplink_bps <= 0:
+        raise ValueError(f"uplink rate must be positive, got {uplink_bps}")
+    return tx_power_w * (8.0 * data_bytes) / uplink_bps
+
+
+def energy_compute(
+    switched_capacitance: float, cycles: float, freq_hz: float
+) -> float:
+    """Eq. 1c integrated for a task of ``cycles`` at ``freq_hz``: k*C*f^2 (J)."""
+    if cycles < 0 or switched_capacitance < 0 or freq_hz <= 0:
+        raise ValueError("invalid compute-energy arguments")
+    return switched_capacitance * cycles * freq_hz**2
+
+
+def energy_motor(
+    transform_loss_w: float,
+    mass_kg: float,
+    velocity: float,
+    accel: float,
+    friction_mu: float,
+    duration_s: float,
+) -> float:
+    """Eq. 1d integrated at constant (v, a) for ``duration_s`` (J)."""
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    p = transform_loss_w + mass_kg * (accel + G * friction_mu) * abs(velocity)
+    return max(p, 0.0) * duration_s
+
+
+def standby_time(
+    local_proc_s: float, cloud_proc_s: float, network_latency_s: float
+) -> float:
+    """Eq. 2b: the VDP makespan t_p = t_p^R + t_p^C + t_c (s)."""
+    if min(local_proc_s, cloud_proc_s, network_latency_s) < 0:
+        raise ValueError("times must be non-negative")
+    return local_proc_s + cloud_proc_s + network_latency_s
+
+
+def mission_time(
+    path_length_m: float,
+    processing_time_s: float,
+    n_processing_events: int,
+    stop_distance_m: float = 0.5,
+    max_accel: float = 1.0,
+    hardware_cap: float | None = None,
+    speed_efficiency: float = 1.0,
+) -> float:
+    """Eq. 2a: T = T_s + T_m for a mission.
+
+    ``T_m`` uses the Eq. 2c velocity; ``T_s`` accumulates one
+    processing stall per event where the pipeline couldn't keep up.
+    ``speed_efficiency`` (0, 1] discounts v_max for curvature — the
+    real-vs-max velocity gap of Fig. 14.
+    """
+    if path_length_m < 0 or n_processing_events < 0:
+        raise ValueError("invalid mission-time arguments")
+    if not 0 < speed_efficiency <= 1:
+        raise ValueError("speed_efficiency must be in (0, 1]")
+    v = max_velocity_oa(processing_time_s, stop_distance_m, max_accel, hardware_cap)
+    v_real = v * speed_efficiency
+    t_move = path_length_m / max(v_real, 1e-9)
+    t_standby = n_processing_events * processing_time_s
+    return t_move + t_standby
+
+
+@dataclass
+class AnalyticalModel:
+    """Whole-mission predictor combining Eqs. 1 and 2.
+
+    Parameters mirror one deployment configuration: which cycles run
+    locally vs remotely, the network, and the vehicle constants. The
+    model returns (energy breakdown, completion time) — the two axes
+    of Fig. 3.
+    """
+
+    # vehicle constants
+    mass_kg: float = 1.0
+    friction_mu: float = 0.6
+    transform_loss_w: float = 0.5
+    sensor_power_w: float = 1.0
+    micro_power_w: float = 1.0
+    # embedded computer
+    switched_capacitance: float = 4.5 / 1.4e9**3
+    local_freq_hz: float = 1.4e9
+    idle_power_w: float = 2.0
+    # network
+    tx_power_w: float = 1.2
+    uplink_bps: float = 24e6
+    # mission shape
+    stop_distance_m: float = 0.2
+    max_accel: float = 2.0
+    hardware_cap: float | None = 1.0
+    speed_efficiency: float = 0.8
+
+    def predict(
+        self,
+        path_length_m: float,
+        local_cycles: float,
+        vdp_time_s: float,
+        uplink_bytes: float,
+        control_rate_hz: float = 5.0,
+    ) -> tuple[EnergyBreakdown, float]:
+        """Predict (energy, completion time) for one deployment.
+
+        Parameters
+        ----------
+        path_length_m:
+            Mission path length.
+        local_cycles:
+            Total reference cycles executed on the LGV.
+        vdp_time_s:
+            VDP makespan t_p (Eq. 2b) under this deployment.
+        uplink_bytes:
+            Total bytes transmitted robot -> server.
+        control_rate_hz:
+            Rate at which VDP stalls can occur.
+        """
+        t = mission_time(
+            path_length_m,
+            vdp_time_s,
+            n_processing_events=0,
+            stop_distance_m=self.stop_distance_m,
+            max_accel=self.max_accel,
+            hardware_cap=self.hardware_cap,
+            speed_efficiency=self.speed_efficiency,
+        )
+        v = max_velocity_oa(
+            vdp_time_s, self.stop_distance_m, self.max_accel, self.hardware_cap
+        )
+        e_compute = (
+            energy_compute(self.switched_capacitance, local_cycles, self.local_freq_hz)
+            + self.idle_power_w * t
+        )
+        e_motor = energy_motor(
+            self.transform_loss_w,
+            self.mass_kg,
+            v * self.speed_efficiency,
+            0.0,
+            self.friction_mu,
+            t,
+        )
+        e_trans = energy_transmission(self.tx_power_w, uplink_bytes, self.uplink_bps)
+        # sensors and microcontroller draw for the whole mission; they
+        # are part of E_ec's board total in Eq. 1a's approximation
+        e_fixed = (self.sensor_power_w + self.micro_power_w) * t
+        return (
+            EnergyBreakdown(
+                compute_j=e_compute + e_fixed,
+                motor_j=e_motor,
+                transmission_j=e_trans,
+            ),
+            t,
+        )

@@ -1,0 +1,96 @@
+"""Algorithm 2: offload network quality control (§VI).
+
+Predicts near-future network quality from two latency-free signals —
+
+* **packet bandwidth** ``r_t``: messages/second actually received from
+  the cloud-side VDP nodes. The senders publish at a fixed rate, so a
+  bandwidth drop *is* packet loss, including the losses UDP's blocked
+  kernel buffer hides from latency statistics (Fig. 7);
+* **signal direction** ``d_t``: whether the LGV is moving toward
+  (+) or away (-) from the WAP, read off its own pose estimates and
+  the WAP position marked in its map.
+
+The decision rule is the paper's Algorithm 2 verbatim:
+
+    if r_t < threshold and d_t < 0:  run the offloaded nodes locally
+    if r_t > threshold and d_t > 0:  run them on the remote server
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.network.monitor import BandwidthMonitor, SignalDirectionEstimator
+
+
+class QualityDecision(Enum):
+    """Outcome of one Algorithm-2 evaluation."""
+
+    GO_LOCAL = "local"
+    GO_REMOTE = "remote"
+    HOLD = "hold"
+
+
+@dataclass
+class NetworkQualityController:
+    """Algorithm 2 with its two instruments attached.
+
+    Parameters
+    ----------
+    bandwidth:
+        Receive-rate monitor fed by the Profiler.
+    direction:
+        Signal-direction estimator fed with pose estimates.
+    threshold_hz:
+        The bandwidth threshold (the paper sets 4 of a 5 Hz send rate).
+    """
+
+    bandwidth: BandwidthMonitor
+    direction: SignalDirectionEstimator
+    threshold_hz: float = 4.0
+    evaluations: int = 0
+    switches_to_local: int = 0
+    switches_to_remote: int = 0
+
+    def evaluate(self, now: float, currently_remote: bool) -> QualityDecision:
+        """One Algorithm-2 step at virtual time ``now``.
+
+        ``currently_remote`` suppresses no-op decisions so callers can
+        count real switches.
+        """
+        self.evaluations += 1
+        r_t = self.bandwidth.rate(now)
+        d_t = self.direction.direction()
+        if r_t < self.threshold_hz and d_t < 0 and currently_remote:
+            self.switches_to_local += 1
+            return QualityDecision.GO_LOCAL
+        if r_t > self.threshold_hz and d_t > 0 and not currently_remote:
+            self.switches_to_remote += 1
+            return QualityDecision.GO_REMOTE
+        return QualityDecision.HOLD
+
+
+@dataclass
+class LatencyThresholdController:
+    """The strawman Algorithm 2 is compared against (ablation).
+
+    Decides from delivered-packet tail latency — the metric prior work
+    used and §VI shows fails under UDP, because discarded packets never
+    contribute a latency sample.
+    """
+
+    latency_threshold_s: float = 0.1
+    percentile: float = 99.0
+    evaluations: int = 0
+
+    def evaluate(self, tail_latency_s: float, currently_remote: bool) -> QualityDecision:
+        """Decide from a tail-latency sample (NaN = no data = hold)."""
+        self.evaluations += 1
+        if tail_latency_s != tail_latency_s:  # NaN
+            return QualityDecision.HOLD
+        if tail_latency_s > self.latency_threshold_s and currently_remote:
+            return QualityDecision.GO_LOCAL
+        if tail_latency_s <= self.latency_threshold_s and not currently_remote:
+            return QualityDecision.GO_REMOTE
+        return QualityDecision.HOLD

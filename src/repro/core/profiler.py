@@ -1,0 +1,168 @@
+"""The Profiler thread of the ROBOT system module (§VII).
+
+Collects the four inputs Algorithms 1 and 2 need:
+
+1. **processing time** of every node along the VDP (from graph hooks,
+   which also expose the charged cycles — so the profiler can compute
+   what the same work *would* cost locally);
+2. **network latency** via periodic small-payload round trips;
+3. **bandwidth** — deliveries of cloud-produced velocity commands;
+4. **signal direction** from pose estimates and the WAP map position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compute.host import Host
+from repro.core.bottleneck import VDP_NODES
+
+#: The callback that constitutes each VDP node's per-tick work; other
+#: callbacks (pose caching, odom updates) are bookkeeping and must not
+#: pollute the makespan estimate.
+VDP_TRIGGERS: dict[str, str] = {
+    "costmap_gen": "scan",
+    "path_tracking": "costmap",
+    "velocity_mux": "cmd_vel_raw",
+}
+from repro.middleware.graph import Graph
+from repro.middleware.node import Node
+from repro.network.monitor import (
+    BandwidthMonitor,
+    RttMonitor,
+    SignalDirectionEstimator,
+)
+
+
+@dataclass
+class VdpSample:
+    """One VDP-makespan observation."""
+
+    t: float
+    local_s: float
+    cloud_s: float
+    any_remote: bool
+
+
+@dataclass
+class NodeProfile:
+    """Latest observation for one node."""
+
+    cycles: float = 0.0
+    proc_s: float = 0.0
+    host_name: str = ""
+    on_robot: bool = True
+
+
+class Profiler:
+    """Profiling instrument shared by Controller and Switcher.
+
+    Parameters
+    ----------
+    graph:
+        The node graph to instrument.
+    lgv_host:
+        The robot's host (defines "local").
+    server_host:
+        The offload target, pinged for RTT.
+    wap_xy:
+        WAP position in the map (for signal direction).
+    vdp_nodes:
+        Names forming the velocity-dependent path.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        lgv_host: Host,
+        server_host: Host,
+        wap_xy: tuple[float, float],
+        vdp_nodes: tuple[str, ...] = VDP_NODES,
+        bandwidth_window_s: float = 1.0,
+        ping_period_s: float = 1.0,
+    ) -> None:
+        self.graph = graph
+        self.lgv_host = lgv_host
+        self.server_host = server_host
+        self.vdp_nodes = vdp_nodes
+        self.node_profiles: dict[str, NodeProfile] = {}
+        self.bandwidth = BandwidthMonitor(bandwidth_window_s)
+        self.rtt = RttMonitor()
+        self.direction = SignalDirectionEstimator(wap_xy)
+        self.vdp_history: list[VdpSample] = []
+        graph.on_processed(self._on_processed)
+        graph.sim.every(ping_period_s, self._ping, label="profiler:ping")
+
+    # ------------------------------------------------------------------
+    # Instrument feeds
+    # ------------------------------------------------------------------
+    def _on_processed(self, node: Node, trigger: str, cycles: float, proc: float) -> None:
+        assert node.host is not None
+        expected = VDP_TRIGGERS.get(node.name)
+        if expected is not None and trigger != expected:
+            return  # bookkeeping callback, not the node's VDP work
+        self.node_profiles[node.name] = NodeProfile(
+            cycles=cycles,
+            proc_s=proc,
+            host_name=node.host.name,
+            on_robot=node.host.on_robot,
+        )
+
+    def _ping(self) -> None:
+        now = self.graph.sim.now()
+        self.rtt.record(self.graph.transport.rtt(self.lgv_host, self.server_host, 256, now))
+
+    def record_vdp_delivery(self, t: float) -> None:
+        """One cloud-produced velocity command arrived at the robot."""
+        self.bandwidth.record(t)
+
+    def record_pose(self, t: float, x: float, y: float) -> None:
+        """Feed a localization estimate to the direction estimator."""
+        self.direction.record(t, x, y)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def vdp_local_estimate(self) -> float:
+        """What the VDP makespan would be with every node on the LGV.
+
+        Uses the charged cycles of the latest invocation of each VDP
+        node, priced at the robot's single-thread rate — cycles don't
+        change with placement, so this stays valid while offloaded.
+        """
+        total = 0.0
+        for name in self.vdp_nodes:
+            prof = self.node_profiles.get(name)
+            if prof is not None:
+                total += prof.cycles / self.lgv_host.platform.effective_hz
+        return total
+
+    def vdp_cloud_estimate(self) -> float:
+        """Measured VDP makespan under the current placement (Eq. 2b):
+        sum of observed processing times plus RTT when any hop is remote."""
+        total = 0.0
+        any_remote = False
+        for name in self.vdp_nodes:
+            prof = self.node_profiles.get(name)
+            if prof is not None:
+                total += prof.proc_s
+                any_remote |= not prof.on_robot
+        if any_remote and len(self.rtt):
+            total += self.rtt.mean()
+        return total
+
+    def sample_vdp(self) -> VdpSample:
+        """Record and return a VDP observation pair."""
+        any_remote = any(
+            not p.on_robot
+            for n, p in self.node_profiles.items()
+            if n in self.vdp_nodes
+        )
+        s = VdpSample(
+            t=self.graph.sim.now(),
+            local_s=self.vdp_local_estimate(),
+            cloud_s=self.vdp_cloud_estimate(),
+            any_remote=any_remote,
+        )
+        self.vdp_history.append(s)
+        return s

@@ -1,0 +1,98 @@
+"""The Switcher thread (§VII): executes node migrations.
+
+The real system's Switcher relays serialized ROS messages between the
+LGV and the VMs (evpp + protobuf); in this reproduction the middleware
+graph already routes cross-host traffic, so the Switcher's remaining —
+and load-bearing — job is *state migration*: moving a node between
+hosts, paying the transfer latency for its state (a particle set, a
+costmap), and reconfiguring its thread-pool width for the platform it
+lands on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compute.executor import ParallelProfile
+from repro.compute.host import Host
+from repro.core.migration import MigrationPlan
+from repro.middleware.graph import Graph
+
+
+@dataclass
+class MigrationRecord:
+    """One executed node move."""
+
+    t: float
+    node: str
+    dest: str
+    pause_s: float
+
+
+class Switcher:
+    """Applies :class:`~repro.core.migration.MigrationPlan` objects.
+
+    Parameters
+    ----------
+    graph:
+        The node graph whose placements are being changed.
+    lgv_host, server_host:
+        The two placement targets.
+    server_threads:
+        Thread-pool width given to parallelizable nodes when they run
+        on the server (the §V acceleration knob). On the LGV nodes
+        always run single-threaded.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        lgv_host: Host,
+        server_host: Host,
+        server_threads: dict[str, int] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.lgv_host = lgv_host
+        self.server_host = server_host
+        self.server_threads = dict(server_threads or {})
+        self.records: list[MigrationRecord] = []
+
+    def apply(self, plan: MigrationPlan) -> float:
+        """Execute a plan; returns the total pause time incurred (s)."""
+        total = 0.0
+        for name in plan.to_server:
+            total += self._move(name, self.server_host)
+        for name in plan.to_robot:
+            total += self._move(name, self.lgv_host)
+        return total
+
+    def _move(self, name: str, dest: Host) -> float:
+        node = self.graph.nodes.get(name)
+        if node is None:
+            return 0.0
+        if node.host is dest:
+            return 0.0
+        pause = self.graph.move_node(name, dest)
+        if dest is self.server_host:
+            node.threads = self.server_threads.get(name, 1)
+        else:
+            node.threads = 1
+        self.records.append(
+            MigrationRecord(self.graph.sim.now(), name, dest.name, pause)
+        )
+        return pause
+
+    def placement(self) -> dict[str, str]:
+        """Current host name of every node in the graph."""
+        return {
+            name: (node.host.name if node.host else "?")
+            for name, node in self.graph.nodes.items()
+        }
+
+    def remote_nodes(self) -> tuple[str, ...]:
+        """Names of nodes currently off the robot."""
+        return tuple(
+            name
+            for name, node in self.graph.nodes.items()
+            if node.host is not None and not node.host.on_robot
+        )

@@ -1,0 +1,13 @@
+"""Replayable scan/odometry datasets.
+
+The paper profiles its cloud-acceleration algorithms on the Intel
+Research Lab SLAM dataset. We cannot ship that data, so
+:func:`record_sequence` drives the simulated LGV through the synthetic
+Intel-lab-like map and records the same artifact: a timed sequence of
+(scan, odometry) pairs that SLAM and the VDP stack can replay
+deterministically.
+"""
+
+from repro.datasets.sequences import ScanSequence, intel_lab_sequence, record_sequence
+
+__all__ = ["ScanSequence", "intel_lab_sequence", "record_sequence"]

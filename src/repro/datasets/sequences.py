@@ -1,0 +1,112 @@
+"""Recorded (scan, odom) sequences for algorithm benchmarking.
+
+A :class:`ScanSequence` is what a rosbag of the Intel Research Lab
+dataset provides: timestamped lidar sweeps plus the odometry increment
+since the previous sweep. Sequences are recorded by driving the
+simulated vehicle with a wall-following-ish scripted controller, so no
+SLAM/planner is needed to produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.sim.rng import seeded_rng
+from repro.vehicle.robot import LGV, RobotProfile
+from repro.world.geometry import Pose2D
+from repro.world.grid import OccupancyGrid
+from repro.world.lidar import LidarScan
+from repro.world.maps import box_world, intel_lab_world
+
+
+@dataclass
+class ScanSequence:
+    """A replayable sensor log.
+
+    Attributes
+    ----------
+    scans:
+        Lidar sweeps in time order.
+    odom_deltas:
+        Robot-frame odometry increment preceding each scan.
+    poses:
+        Ground-truth poses at each scan (for error evaluation only).
+    """
+
+    scans: list[LidarScan] = field(default_factory=list)
+    odom_deltas: list[Pose2D] = field(default_factory=list)
+    poses: list[Pose2D] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.scans)
+
+    def __iter__(self):
+        return iter(zip(self.scans, self.odom_deltas))
+
+
+def record_sequence(
+    world: OccupancyGrid,
+    start: Pose2D,
+    n_scans: int = 60,
+    scan_period_s: float = 0.2,
+    speed: float = 0.25,
+    seed: int = 0,
+) -> ScanSequence:
+    """Drive the LGV through ``world`` and record a scan log.
+
+    The scripted controller holds ``speed`` and steers away from the
+    nearest obstacle in the front cone — enough to generate the loopy,
+    clutter-rich trajectories SLAM profiling wants without a planner.
+    """
+    if n_scans < 1:
+        raise ValueError("n_scans must be >= 1")
+    rng = seeded_rng(seed)
+    bot = LGV(world, profile=RobotProfile(max_v=max(speed, 0.22)), start=start, rng=rng)
+    seq = ScanSequence()
+    last_odom = bot.odom_pose
+    physics_dt = 0.05
+    steps = max(1, int(round(scan_period_s / physics_dt)))
+    w_cmd = 0.0
+    for i in range(n_scans):
+        scan = bot.scan(stamp=i * scan_period_s)
+        seq.scans.append(scan)
+        seq.odom_deltas.append(bot.odom_pose.relative_to(last_odom))
+        seq.poses.append(bot.pose)
+        last_odom = bot.odom_pose
+
+        # steer: turn away from close obstacles ahead, otherwise wander
+        front = np.abs(scan.angles) < 0.8
+        close = scan.ranges[front].min() if front.any() else scan.range_max
+        if close < 0.7:
+            left = scan.ranges[(scan.angles > 0) & (scan.angles < 1.4)].mean()
+            right = scan.ranges[(scan.angles < 0) & (scan.angles > -1.4)].mean()
+            w_cmd = 1.6 if left > right else -1.6
+            v_cmd = 0.08
+        else:
+            w_cmd = 0.85 * w_cmd + float(rng.normal(0, 0.25))
+            v_cmd = speed
+        bot.set_command(v_cmd, w_cmd)
+        for _ in range(steps):
+            bot.step(physics_dt)
+    return seq
+
+
+@lru_cache(maxsize=4)
+def intel_lab_sequence(n_scans: int = 60, seed: int = 3) -> ScanSequence:
+    """The stand-in for the Intel Research Lab dataset (cached).
+
+    Recorded in the synthetic office-ring map of
+    :func:`repro.world.maps.intel_lab_world`.
+    """
+    world = intel_lab_world()
+    start = Pose2D(1.2, 1.2, 0.3)
+    return record_sequence(world, start, n_scans=n_scans, seed=seed)
+
+
+@lru_cache(maxsize=4)
+def box_sequence(n_scans: int = 40, seed: int = 1) -> ScanSequence:
+    """A shorter sequence in the box arena (fast unit-test fodder)."""
+    return record_sequence(box_world(8.0), Pose2D(2, 2, 0.5), n_scans=n_scans, seed=seed)

@@ -1,0 +1,214 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Migration granularity** — Algorithm 1's fine-grained node
+   selection vs the RoboMaker-style whole-workload offload.
+2. **Network-quality metric** — Algorithm 2 (bandwidth + signal
+   direction) vs the prior-work latency-threshold policy, on the
+   Fig. 11 drive: the latency policy never notices the dead zone
+   because delivered packets keep looking fast.
+3. **Velocity adaptation** — Eq. 2c's cap vs driving at the hardware
+   maximum regardless of processing time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.core.netqual import (
+    LatencyThresholdController,
+    NetworkQualityController,
+    QualityDecision,
+)
+from repro.experiments._missions import DEPLOYMENTS, Deployment, launch_navigation
+from repro.experiments.fig11_network import run_fig11
+from repro.network.link import WirelessLink
+from repro.network.monitor import BandwidthMonitor, SignalDirectionEstimator
+from repro.network.signal import WapSite
+from repro.network.udp import UdpChannel
+from repro.sim.rng import seeded_rng
+from repro.workloads.missions import MissionResult
+
+
+# ----------------------------------------------------------------------
+# 1. Fine-grained vs whole-workload migration
+# ----------------------------------------------------------------------
+@dataclass
+class GranularityAblation:
+    """Outcomes of fine-grained vs whole-workload offloading."""
+
+    fine: MissionResult
+    whole: MissionResult
+    table: Table
+
+    def render(self) -> str:
+        """Plain-text comparison."""
+        return self.table.render()
+
+
+def run_ablation_migration_granularity(seed: int = 0) -> GranularityAblation:
+    """Navigation mission with Algorithm 1 vs offload-everything."""
+    results = {}
+    for placement, label in (("strategy", "fine-grained (Algorithm 1)"),
+                             ("all_server", "whole workload")):
+        dep = Deployment(label, placement, "gateway", 8)
+        w, fw, runner = launch_navigation(dep, seed=seed)
+        results[placement] = (runner.run(), w)
+    t = Table(
+        title="Ablation — migration granularity (navigation, gateway +8T)",
+        columns=["policy", "ok", "T (s)", "energy (J)", "wireless (J)", "uplink msgs"],
+    )
+    for placement, label in (("strategy", "fine-grained"), ("all_server", "whole workload")):
+        m, w = results[placement]
+        t.add_row(
+            label,
+            "yes" if m.success else "NO",
+            round(m.completion_time_s, 1),
+            round(m.total_energy_j, 1),
+            round(m.energy.wireless_j, 2),
+            w.fabric.uplink.stats.sent,
+        )
+    return GranularityAblation(
+        fine=results["strategy"][0], whole=results["all_server"][0], table=t
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. Bandwidth+direction vs latency threshold (Algorithm 2 ablation)
+# ----------------------------------------------------------------------
+@dataclass
+class NetqualAblation:
+    """Starvation seconds under each quality metric on the A->C->A drive."""
+
+    starved_s_algorithm2: float
+    starved_s_latency: float
+    switch_times_algorithm2: list[float]
+    switch_times_latency: list[float]
+
+    def render(self) -> str:
+        """One-paragraph summary."""
+        return (
+            "Ablation — network quality metric (A->C->A drive)\n"
+            f"  Algorithm 2 (bandwidth+direction): starved {self.starved_s_algorithm2:.0f} s, "
+            f"switches at {['%.0f' % t for t in self.switch_times_algorithm2]}\n"
+            f"  latency threshold (prior work):    starved {self.starved_s_latency:.0f} s, "
+            f"switches at {['%.0f' % t for t in self.switch_times_latency]}"
+        )
+
+
+def _drive(controller_kind: str, seed: int = 0, threshold_hz: float = 4.0) -> tuple[float, list[float]]:
+    """Replay the Fig. 11 drive under one switching policy.
+
+    Returns (seconds starved while nominally remote, switch times).
+    Starved = remote placement but < 1 Hz of the 5 Hz command stream
+    arriving — the robot is blind and would stall.
+    """
+    rng = seeded_rng(seed)
+    wap = WapSite(0.0, 0.0)
+    pos = [1.0, 0.0]
+    link = WirelessLink(wap, lambda: (pos[0], pos[1]), rng)
+    downlink = UdpChannel(link)
+    bandwidth = BandwidthMonitor(1.0)
+    direction = SignalDirectionEstimator((0.0, 0.0))
+    algo2 = NetworkQualityController(bandwidth, direction, threshold_hz)
+    lat_ctl = LatencyThresholdController(latency_threshold_s=0.05)
+
+    remote = True
+    speed, out = 0.5, 18.0
+    dt = 0.2
+    heading_out = True
+    starved = 0.0
+    switches: list[float] = []
+    lat_window: list[float] = []
+    t = 0.0
+    while True:
+        t += dt
+        if heading_out and pos[0] >= out:
+            heading_out = False
+        pos[0] += (speed if heading_out else -speed) * dt
+        pos[0] = max(pos[0], 1.0)
+        direction.record(t, pos[0], pos[1])
+        if not heading_out and pos[0] <= 1.0:
+            break
+        # commands while remote, keep-alive probes while local
+        lat = downlink.send(72, t)
+        if lat is not None:
+            bandwidth.record(t)
+            if remote:
+                lat_window.append(lat)
+        if abs(t - round(t)) < 1e-9:  # once per second
+            rate = bandwidth.rate(t)
+            if remote and rate < 1.0:
+                starved += 1.0
+            if controller_kind == "algo2":
+                d = algo2.evaluate(t, currently_remote=remote)
+            else:
+                tail = float(np.percentile(lat_window, 99)) if lat_window else math.nan
+                lat_window = []
+                d = lat_ctl.evaluate(tail, currently_remote=remote)
+            if d is QualityDecision.GO_LOCAL and remote:
+                remote = False
+                switches.append(t)
+            elif d is QualityDecision.GO_REMOTE and not remote:
+                remote = True
+                switches.append(t)
+    return starved, switches
+
+
+def run_ablation_netqual_metric(seed: int = 0) -> NetqualAblation:
+    """Compare Algorithm 2 against the latency-threshold strawman."""
+    s2, sw2 = _drive("algo2", seed)
+    sl, swl = _drive("latency", seed)
+    return NetqualAblation(
+        starved_s_algorithm2=s2,
+        starved_s_latency=sl,
+        switch_times_algorithm2=sw2,
+        switch_times_latency=swl,
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Velocity adaptation (Eq. 2c) on/off
+# ----------------------------------------------------------------------
+@dataclass
+class VelocityAblation:
+    """Local-baseline navigation with and without the Eq. 2c cap."""
+
+    adaptive: MissionResult
+    fixed: MissionResult
+    table: Table
+
+    def render(self) -> str:
+        """Plain-text comparison."""
+        return self.table.render()
+
+
+def run_ablation_velocity_adaptation(seed: int = 0, timeout_s: float = 300.0) -> VelocityAblation:
+    """No-offloading mission with the velocity law vs a fixed 1 m/s cap.
+
+    Without the law the robot out-drives its 1 s perception latency:
+    collisions and safety stops, not progress.
+    """
+    dep = DEPLOYMENTS[0]  # local
+    w1, fw1, r1 = launch_navigation(dep, seed=seed, timeout_s=timeout_s)
+    adaptive = r1.run()
+
+    w2, fw2, r2 = launch_navigation(dep, seed=seed, timeout_s=timeout_s)
+    fw2.controller.update_velocity = lambda now, vdp: 1.0  # law disabled
+    w2.lgv.set_velocity_cap(1.0)
+    fixed = r2.run()
+
+    t = Table(
+        title="Ablation — Eq. 2c velocity adaptation (local navigation)",
+        columns=["policy", "ok", "T (s)", "collisions", "distance (m)"],
+    )
+    t.add_row("Eq. 2c adaptive cap", "yes" if adaptive.success else "NO",
+              round(adaptive.completion_time_s, 1), adaptive.collisions,
+              round(adaptive.distance_m, 1))
+    t.add_row("fixed 1.0 m/s cap", "yes" if fixed.success else "NO",
+              round(fixed.completion_time_s, 1), fixed.collisions,
+              round(fixed.distance_m, 1))
+    return VelocityAblation(adaptive=adaptive, fixed=fixed, table=t)

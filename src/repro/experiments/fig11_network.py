@@ -1,0 +1,129 @@
+"""Figure 11: network latency & bandwidth during an A -> C -> A drive.
+
+A cloud-side Path Tracking stand-in sends 5 Hz velocity commands over
+the UDP downlink while the LGV drives from point A (near the WAP) out
+to point C (deep in the unstable area) and back. We record, per
+second:
+
+* the latency of *delivered* packets (blue rhombus series in the
+  paper) — which stays deceptively healthy on the way into the dead
+  zone;
+* the received packet bandwidth (red dots) — which tracks loss
+  faithfully;
+* the signal direction and Algorithm 2's decisions, which switch the
+  VDP local before the dead zone and back to the cloud on return.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.figures import Series, ascii_series
+from repro.core.netqual import NetworkQualityController, QualityDecision
+from repro.network.link import WirelessLink
+from repro.network.monitor import BandwidthMonitor, SignalDirectionEstimator
+from repro.network.signal import WapSite
+from repro.network.udp import UdpChannel
+from repro.sim.rng import seeded_rng
+
+
+@dataclass
+class Fig11Result:
+    """Time series and switch events of the Fig. 11 drive."""
+
+    t: list[float] = field(default_factory=list)
+    latency_ms: list[float] = field(default_factory=list)  # NaN when no delivery
+    bandwidth_hz: list[float] = field(default_factory=list)
+    direction: list[float] = field(default_factory=list)
+    distance_m: list[float] = field(default_factory=list)
+    remote: list[bool] = field(default_factory=list)
+    switch_events: list[tuple[float, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII chart of bandwidth + delivered latency."""
+        bw = Series("bandwidth (Hz)")
+        lat = Series("latency (ms, delivered)")
+        for i, tt in enumerate(self.t):
+            bw.add(tt, self.bandwidth_hz[i])
+            if not math.isnan(self.latency_ms[i]):
+                lat.add(tt, min(self.latency_ms[i], 50.0))
+        chart = ascii_series("Fig. 11 — UDP latency and bandwidth, A->C->A", [bw, lat])
+        events = "\n".join(f"t={t:6.1f}s  {what}" for t, what in self.switch_events)
+        return chart + "\nswitches:\n" + (events or "(none)")
+
+
+def run_fig11(
+    out_distance_m: float = 18.0,
+    speed: float = 0.5,
+    send_rate_hz: float = 5.0,
+    threshold_hz: float = 4.0,
+    seed: int = 0,
+) -> Fig11Result:
+    """Run the scripted A->C->A drive and collect the Fig. 11 series.
+
+    The vehicle path is scripted (straight out along +x from the WAP
+    and back) because the figure is about the *network*, not the
+    planner.
+    """
+    rng = seeded_rng(seed)
+    wap = WapSite(0.0, 0.0)
+    pos = [1.0, 0.0]
+    link = WirelessLink(wap, lambda: (pos[0], pos[1]), rng)
+    downlink = UdpChannel(link)
+
+    bandwidth = BandwidthMonitor(window_s=1.0)
+    direction = SignalDirectionEstimator((wap.x, wap.y))
+    controller = NetworkQualityController(
+        bandwidth=bandwidth, direction=direction, threshold_hz=threshold_hz
+    )
+
+    res = Fig11Result()
+    remote = True
+    dt = 1.0 / send_rate_hz
+    total_time = 2.0 * (out_distance_m - pos[0]) / speed
+    n_steps = int(total_time / dt)
+    heading_out = True
+    last_lat_ms = math.nan
+    second_acc: list[float] = []
+
+    for i in range(n_steps + 1):
+        t = i * dt
+        # scripted motion
+        if heading_out and pos[0] >= out_distance_m:
+            heading_out = False
+            res.switch_events.append((t, "reached point C (turnaround)"))
+        pos[0] += (speed if heading_out else -speed) * dt
+        pos[0] = max(pos[0], 1.0)
+        direction.record(t, pos[0], pos[1])
+
+        # the cloud side sends one packet per period: velocity commands
+        # while the VDP is remote, keep-alive telemetry while local —
+        # the probe stream Algorithm 2 needs to detect recovery
+        lat = downlink.send(72, t)
+        if lat is not None:
+            bandwidth.record(t)
+            if remote:
+                second_acc.append(lat * 1e3)
+
+        # sample the series once per second, evaluate Algorithm 2
+        if i % int(send_rate_hz) == 0:
+            now = t
+            res.t.append(now)
+            res.latency_ms.append(float(np.median(second_acc)) if second_acc else math.nan)
+            second_acc = []
+            res.bandwidth_hz.append(bandwidth.rate(now))
+            res.direction.append(direction.direction())
+            res.distance_m.append(pos[0])
+            res.remote.append(remote)
+            decision = controller.evaluate(now, currently_remote=remote)
+            if decision is QualityDecision.GO_LOCAL:
+                remote = False
+                res.switch_events.append((now, "Algorithm 2: invoke nodes locally"))
+            elif decision is QualityDecision.GO_REMOTE:
+                remote = True
+                res.switch_events.append((now, "Algorithm 2: migrate back to cloud"))
+
+    return res

@@ -1,0 +1,61 @@
+"""Figure 12: maximum velocity over time for five deployments.
+
+The paper's headline: with offloading + parallelization the
+controller's Eq. 2c velocity cap rises 4-5x over the no-offloading
+baseline, and the offloaded caps fluctuate with network latency while
+the local cap is steady.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.figures import Series, ascii_series
+from repro.experiments._missions import DEPLOYMENTS, Deployment, launch_navigation
+
+
+@dataclass
+class Fig12Result:
+    """Velocity-cap traces per deployment."""
+
+    traces: dict[str, Series] = field(default_factory=dict)
+    mean_caps: dict[str, float] = field(default_factory=dict)
+    completed: dict[str, bool] = field(default_factory=dict)
+
+    def speedup_over_local(self, label: str) -> float:
+        """Mean velocity cap of ``label`` over the local baseline's."""
+        return self.mean_caps[label] / self.mean_caps["local (no offload)"]
+
+    def render(self) -> str:
+        """ASCII chart of all traces."""
+        chart = ascii_series(
+            "Fig. 12 — maximum velocity (m/s) over time", list(self.traces.values())
+        )
+        stats = "\n".join(
+            f"{label:20s} mean cap {cap:.3f} m/s"
+            + (f"  ({self.speedup_over_local(label):.1f}x local)" if cap else "")
+            for label, cap in self.mean_caps.items()
+        )
+        return chart + "\n" + stats
+
+
+def run_fig12(
+    deployments: tuple[Deployment, ...] = DEPLOYMENTS,
+    seed: int = 0,
+    timeout_s: float = 300.0,
+) -> Fig12Result:
+    """Run the navigation mission under each deployment, recording the
+    controller's velocity cap over time."""
+    res = Fig12Result()
+    for dep in deployments:
+        w, fw, runner = launch_navigation(dep, seed=seed, timeout_s=timeout_s)
+        mission = runner.run()
+        s = Series(dep.label)
+        for t, v in fw.velocity_trace():
+            s.add(t, v)
+        res.traces[dep.label] = s
+        res.mean_caps[dep.label] = float(np.mean(s.y)) if s.y else 0.0
+        res.completed[dep.label] = mission.success
+    return res

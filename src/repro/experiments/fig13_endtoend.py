@@ -1,0 +1,96 @@
+"""Figure 13: total energy breakdown and mission completion time.
+
+For each workload (Navigation with a map, Exploration without) and
+each deployment, a full mission runs and the robot-side energy is
+decomposed into the five Fig. 13 components (motor, sensor,
+microcontroller, embedded computer, wireless controller), with the
+completion time alongside.
+
+Expected shape (paper §VIII-D):
+
+* offloading + parallelization cuts total energy and completion time;
+* the embedded-computer bar shrinks dramatically, the motor bar stays
+  nearly flat (motor energy is distance-dominated);
+* the wireless bar stays small (the biggest upload is the 2.94 KB
+  laser scan);
+* exploration sees the larger *energy* gain (SLAM was burning the
+  board), navigation the larger *time* gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import Table
+from repro.experiments._missions import (
+    DEPLOYMENTS,
+    Deployment,
+    launch_exploration,
+    launch_navigation,
+)
+from repro.workloads.missions import MissionResult
+
+
+@dataclass
+class Fig13Result:
+    """Per-(workload, deployment) mission outcomes."""
+
+    results: dict[tuple[str, str], MissionResult] = field(default_factory=dict)
+    table: Table | None = None
+
+    def reduction(self, workload: str, label: str, metric: str) -> float:
+        """local / ``label`` ratio for ``metric`` ('energy' or 'time')."""
+        base = self.results[(workload, "local (no offload)")]
+        other = self.results[(workload, label)]
+        if metric == "energy":
+            return base.total_energy_j / other.total_energy_j
+        if metric == "time":
+            return base.completion_time_s / other.completion_time_s
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def render(self) -> str:
+        """Plain-text table of the bar chart's numbers."""
+        assert self.table is not None
+        return self.table.render()
+
+
+def run_fig13(
+    deployments: tuple[Deployment, ...] = DEPLOYMENTS,
+    workloads: tuple[str, ...] = ("navigation", "exploration"),
+    seed: int = 0,
+    nav_timeout_s: float = 400.0,
+    exp_timeout_s: float = 700.0,
+) -> Fig13Result:
+    """Run the Fig. 13 mission matrix."""
+    res = Fig13Result()
+    t = Table(
+        title="Fig. 13 — total energy (J) and mission completion time (s)",
+        columns=[
+            "workload", "deployment", "ok", "T (s)",
+            "motor", "sensor", "micro", "computer", "wireless", "total (J)",
+        ],
+        note="energy components are the Fig. 13 bar stack",
+    )
+    for workload in workloads:
+        for dep in deployments:
+            if workload == "navigation":
+                w, fw, runner = launch_navigation(dep, seed=seed, timeout_s=nav_timeout_s)
+            else:
+                w, fw, runner = launch_exploration(dep, seed=seed, timeout_s=exp_timeout_s)
+            mission = runner.run()
+            res.results[(workload, dep.label)] = mission
+            e = mission.energy
+            t.add_row(
+                workload,
+                dep.label,
+                "yes" if mission.success else "NO",
+                round(mission.completion_time_s, 1),
+                round(e.motor_j, 1),
+                round(e.sensor_j, 1),
+                round(e.microcontroller_j, 1),
+                round(e.embedded_computer_j, 1),
+                round(e.wireless_j, 2),
+                round(mission.total_energy_j, 1),
+            )
+    res.table = t
+    return res

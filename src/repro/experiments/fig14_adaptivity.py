@@ -1,0 +1,78 @@
+"""Figure 14: the gap between maximum and real velocity.
+
+An offloaded navigation mission drives through an obstacle-rich world.
+The controller's Eq. 2c cap is high, but the *real* velocity only
+reaches it on straight segments — obstacle avoidance and turns pull it
+down, and the higher the cap, the wider the gap. A second run with a
+lower cap shows the gap closing, which is §VIII-E's argument for
+adapting parallelization (and hence cloud cost) to the environment's
+phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.figures import Series, ascii_series
+from repro.experiments._missions import DEPLOYMENTS, launch_navigation
+from repro.world.geometry import Pose2D
+from repro.world.maps import obstacle_course_world
+
+
+@dataclass
+class Fig14Result:
+    """Max-vs-real velocity traces at two cap levels."""
+
+    traces: dict[str, tuple[Series, Series]] = field(default_factory=dict)
+    gaps: dict[str, float] = field(default_factory=dict)  # mean (cap - real)
+    utilization: dict[str, float] = field(default_factory=dict)  # real / cap
+
+    def render(self) -> str:
+        """ASCII chart (high-cap run) plus gap statistics."""
+        label = next(iter(self.traces))
+        vmax, vreal = self.traces[label]
+        chart = ascii_series(f"Fig. 14 — max vs real velocity ({label})", [vmax, vreal])
+        stats = "\n".join(
+            f"{k:12s} mean gap {self.gaps[k]:.3f} m/s, utilization {self.utilization[k]:.0%}"
+            for k in self.traces
+        )
+        return chart + "\n" + stats
+
+
+def run_fig14(
+    seed: int = 7,
+    low_cap: float = 0.3,
+    timeout_s: float = 400.0,
+) -> Fig14Result:
+    """Run the obstacle-course mission at a high and a low velocity cap."""
+    world = obstacle_course_world(12.0, n_obstacles=10, seed=seed)
+    res = Fig14Result()
+    for label, cap in (("high cap", None), (f"cap {low_cap}", low_cap)):
+        dep = DEPLOYMENTS[2]  # gateway +8T
+        w, fw, runner = launch_navigation(
+            dep,
+            world=world,
+            start=Pose2D(1.5, 1.5, 0.7),
+            goal=Pose2D(10.5, 10.5, 0),
+            wap_xy=(6.0, 6.0),
+            seed=seed,
+            timeout_s=timeout_s,
+        )
+        if cap is not None:
+            fw.controller.hardware_cap = cap
+        mission = runner.run()
+        vmax = Series(f"{label}: v_max")
+        vreal = Series(f"{label}: v_real")
+        caps, reals = [], []
+        for p in mission.velocity_trace[:: 10]:
+            vmax.add(p.t, p.v_max)
+            vreal.add(p.t, p.v_real)
+            caps.append(p.v_max)
+            reals.append(p.v_real)
+        res.traces[label] = (vmax, vreal)
+        caps_a, reals_a = np.asarray(caps), np.asarray(reals)
+        res.gaps[label] = float(np.mean(caps_a - reals_a))
+        res.utilization[label] = float(reals_a.mean() / max(caps_a.mean(), 1e-9))
+    return res

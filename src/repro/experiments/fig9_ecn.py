@@ -1,0 +1,102 @@
+"""Figure 9: ECN (SLAM) processing time vs threads and particles.
+
+For each platform (Turtlebot3 / edge gateway / cloud server), each
+thread count and each particle count, the modeled per-scan SLAM
+processing time is computed from the calibrated cycle cost and the
+platform's parallel execution model. The expected shape:
+
+* time grows linearly with particles (the accuracy knob);
+* threads help more the more particles there are;
+* the manycore cloud server achieves the best ECN acceleration
+  (paper: up to 40.84x vs 27.97x on the gateway).
+
+``measure_real_slam`` runs the *actual* ``ParallelGMapping`` on the
+recorded Intel-lab-like sequence so the pytest-benchmark harness can
+confirm the thread decomposition speeds up real work on real cores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import Table, format_seconds
+from repro.compute.executor import ExecutionModel, SLAM_PROFILE
+from repro.compute.platform import CLOUD_SERVER, EDGE_GATEWAY, PlatformSpec, TURTLEBOT3_PI
+from repro.datasets.sequences import intel_lab_sequence
+from repro.perception.gmapping import GMappingConfig, gmapping_scan_cycles
+from repro.perception.gmapping_parallel import ParallelGMapping
+from repro.sim.rng import seeded_rng
+from repro.world.geometry import Pose2D
+
+#: The Fig. 9 sweep axes.
+THREAD_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 12)
+PARTICLE_COUNTS: tuple[int, ...] = (10, 20, 30, 100)
+PLATFORMS: tuple[PlatformSpec, ...] = (TURTLEBOT3_PI, EDGE_GATEWAY, CLOUD_SERVER)
+
+
+@dataclass
+class Fig9Result:
+    """Modeled per-scan SLAM processing times."""
+
+    #: (platform, threads, particles) -> seconds
+    times: dict[tuple[str, int, int], float] = field(default_factory=dict)
+    tables: list[Table] = field(default_factory=list)
+
+    def best_speedup(self, platform: str) -> float:
+        """Best speedup of ``platform`` over the 1-thread Turtlebot3."""
+        base = max(
+            self.times[("turtlebot3-pi", 1, p)] for p in PARTICLE_COUNTS
+        )
+        best = min(
+            self.times[(platform, n, max(PARTICLE_COUNTS))] for n in THREAD_COUNTS
+        )
+        return self.times[("turtlebot3-pi", 1, max(PARTICLE_COUNTS))] / best
+
+    def render(self) -> str:
+        """All three per-platform tables."""
+        return "\n\n".join(t.render() for t in self.tables)
+
+
+def run_fig9() -> Fig9Result:
+    """Regenerate Fig. 9 from the execution model."""
+    res = Fig9Result()
+    for platform in PLATFORMS:
+        model = ExecutionModel(platform)
+        t = Table(
+            title=f"Fig. 9 ({platform.name}) — SLAM per-scan processing time",
+            columns=["threads \\ particles"] + [str(p) for p in PARTICLE_COUNTS],
+        )
+        for n in THREAD_COUNTS:
+            row: list = [str(n)]
+            for particles in PARTICLE_COUNTS:
+                cycles = gmapping_scan_cycles(particles)
+                secs = model.exec_time(cycles, n, SLAM_PROFILE)
+                res.times[(platform.name, n, particles)] = secs
+                row.append(format_seconds(secs))
+            t.rows.append(row)
+        res.tables.append(t)
+    return res
+
+
+def measure_real_slam(
+    n_particles: int = 10,
+    n_threads: int = 1,
+    n_scans: int = 12,
+    seed: int = 5,
+) -> float:
+    """Wall-clock seconds/scan of the real parallel GMapping.
+
+    Replays the recorded lab sequence; used by the Fig. 9 benchmark to
+    validate the parallel decomposition on the test machine.
+    """
+    seq = intel_lab_sequence(n_scans=n_scans)
+    cfg = GMappingConfig(n_particles=n_particles, rows=200, cols=380, resolution=0.05)
+    with ParallelGMapping(
+        cfg, rng=seeded_rng(seed), initial_pose=seq.poses[0], n_threads=n_threads
+    ) as slam:
+        t0 = time.perf_counter()
+        for scan, delta in seq:
+            slam.process(scan, delta)
+        elapsed = time.perf_counter() - t0
+    return elapsed / len(seq)

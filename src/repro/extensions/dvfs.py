@@ -1,0 +1,110 @@
+"""DVFS: choosing the LGV's CPU frequency.
+
+The paper's Eq. 1c models compute power as ``P = k * L * f^2`` and
+notes (footnote 2) that it holds voltage constant; §III-A then argues
+``f_t`` is "commonly non-adjustable" on low-end boards and leaves the
+knob alone. This extension asks the question anyway: *if* the embedded
+computer supported frequency scaling, what setting minimizes mission
+cost?
+
+The trade is classic: energy for a task of C cycles is ``k C f^2``
+(quadratic in f), while the VDP makespan is ``C/f`` — and through
+Eq. 2c a slower VDP means a slower, longer, *motor-hungrier* mission.
+The optimum is interior, not at either end, which is exactly why
+adaptive policies beat static ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.velocity_law import max_velocity_oa
+
+
+@dataclass(frozen=True)
+class DvfsOperatingPoint:
+    """Predicted cost of running the local VDP at one frequency."""
+
+    freq_hz: float
+    vdp_time_s: float
+    velocity_mps: float
+    mission_time_s: float
+    energy_j: float
+
+
+@dataclass
+class DvfsPolicy:
+    """Frequency selection for the LGV's embedded computer.
+
+    Parameters
+    ----------
+    switched_capacitance:
+        Eq. 1c's ``k`` at the nominal frequency.
+    vdp_cycles:
+        Reference cycles of one local VDP tick.
+    path_length_m:
+        Mission length used for the prediction.
+    fixed_power_w:
+        Non-compute board power (idle + sensors + microcontroller).
+    motor_power_per_mps:
+        Marginal motor watts per m/s of velocity (m * g * mu).
+    """
+
+    switched_capacitance: float = 4.5 / 1.4e9**3
+    vdp_cycles: float = 1.4e9
+    path_length_m: float = 10.0
+    fixed_power_w: float = 4.0
+    motor_power_per_mps: float = 5.9
+    hardware_cap: float = 1.0
+    speed_efficiency: float = 0.8
+
+    def evaluate(self, freq_hz: float) -> DvfsOperatingPoint:
+        """Predict mission time and energy at ``freq_hz``."""
+        if freq_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {freq_hz}")
+        tp = self.vdp_cycles / freq_hz
+        v = max_velocity_oa(tp, hardware_cap=self.hardware_cap) * self.speed_efficiency
+        t = self.path_length_m / max(v, 1e-9)
+        # the VDP re-runs continuously for the whole mission: the board
+        # executes ~t/tp ticks of C cycles each
+        ticks = t / tp
+        compute_j = self.switched_capacitance * self.vdp_cycles * ticks * freq_hz**2
+        motor_j = self.motor_power_per_mps * v * t
+        energy = compute_j + motor_j + self.fixed_power_w * t
+        return DvfsOperatingPoint(
+            freq_hz=freq_hz,
+            vdp_time_s=tp,
+            velocity_mps=v,
+            mission_time_s=t,
+            energy_j=energy,
+        )
+
+    def sweep(self, freqs_hz: np.ndarray) -> list[DvfsOperatingPoint]:
+        """Evaluate a grid of frequencies."""
+        return [self.evaluate(float(f)) for f in np.asarray(freqs_hz).ravel()]
+
+
+def optimal_frequency(
+    policy: DvfsPolicy,
+    f_min_hz: float = 0.6e9,
+    f_max_hz: float = 1.4e9,
+    n_grid: int = 60,
+    energy_weight: float = 1.0,
+    time_weight: float = 0.0,
+) -> DvfsOperatingPoint:
+    """Grid-search the frequency minimizing a weighted energy/time cost.
+
+    ``energy_weight=1, time_weight=0`` answers the EC question;
+    flipping the weights answers MCT. The returned operating point is
+    the argmin over the grid.
+    """
+    if f_min_hz <= 0 or f_max_hz <= f_min_hz:
+        raise ValueError("need 0 < f_min < f_max")
+    if n_grid < 2:
+        raise ValueError("n_grid must be >= 2")
+    pts = policy.sweep(np.linspace(f_min_hz, f_max_hz, n_grid))
+    return min(
+        pts, key=lambda p: energy_weight * p.energy_j + time_weight * p.mission_time_s
+    )

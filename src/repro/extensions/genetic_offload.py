@@ -1,0 +1,213 @@
+"""Genetic-algorithm offloading planner (the Rahman et al. baseline).
+
+§X contrasts the paper's approach with Rahman et al.'s genetic
+algorithm for task offloading: a *static* planner that searches node
+placements offline against a model of the environment. This module
+implements that baseline over our own analytical model so Algorithm 1
+can be compared against it:
+
+* a genome is one bit per movable node (0 = LGV, 1 = server);
+* fitness is the predicted mission cost — compute energy of the local
+  cycles, transmission energy of the induced uplink traffic, and the
+  Eq. 2c-derived mission time from the resulting VDP makespan;
+* standard tournament selection, uniform crossover, bit-flip mutation.
+
+Its weakness is the paper's point: the plan is baked against one
+assumed network quality, so it cannot react when the robot drives out
+of coverage (Algorithm 2's job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compute.platform import PlatformSpec, TURTLEBOT3_PI
+from repro.control.velocity_law import max_velocity_oa
+from repro.core.bottleneck import VDP_NODES
+from repro.sim.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class PredictedCost:
+    """Model-predicted cost of one placement."""
+
+    energy_j: float
+    time_s: float
+    vdp_time_s: float
+
+    def weighted(self, energy_weight: float, time_weight: float) -> float:
+        """Scalar fitness (lower is better)."""
+        return energy_weight * self.energy_j + time_weight * self.time_s
+
+
+@dataclass
+class PlacementGenome:
+    """One candidate placement: node name -> offloaded?"""
+
+    offloaded: dict[str, bool]
+
+    def to_server(self) -> tuple[str, ...]:
+        """Names placed on the server."""
+        return tuple(n for n, s in self.offloaded.items() if s)
+
+    def key(self) -> tuple[bool, ...]:
+        """Hashable identity (ordered by node name insertion)."""
+        return tuple(self.offloaded.values())
+
+
+@dataclass
+class GeneticOffloadPlanner:
+    """Offline GA search over node placements.
+
+    Parameters
+    ----------
+    node_cycles:
+        Per-tick reference cycles of each movable node (Table II data).
+    node_uplink_bytes:
+        Uplink bytes per tick induced when the node runs remotely
+        (its subscribed sensor traffic).
+    server:
+        Target platform for offloaded nodes.
+    network_latency_s:
+        One-way latency assumed by the static plan.
+    tick_rate_hz:
+        Pipeline tick rate.
+    path_length_m:
+        Mission length for the time model.
+    """
+
+    node_cycles: dict[str, float]
+    node_uplink_bytes: dict[str, float] = field(default_factory=dict)
+    server: PlatformSpec = None  # type: ignore[assignment]
+    local: PlatformSpec = TURTLEBOT3_PI
+    network_latency_s: float = 0.01
+    tick_rate_hz: float = 5.0
+    path_length_m: float = 10.0
+    uplink_bps: float = 24e6
+    tx_power_w: float = 1.2
+    pinned_local: tuple[str, ...] = ("velocity_mux",)
+    energy_weight: float = 1.0
+    time_weight: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.server is None:
+            from repro.compute.platform import EDGE_GATEWAY
+
+            self.server = EDGE_GATEWAY
+        self.movable = tuple(
+            n for n in self.node_cycles if n not in self.pinned_local
+        )
+
+    # ------------------------------------------------------------------
+    # Fitness model
+    # ------------------------------------------------------------------
+    def predict(self, genome: PlacementGenome) -> PredictedCost:
+        """Predicted mission cost of a placement (the GA's fitness)."""
+        vdp = 0.0
+        any_remote_vdp = False
+        local_cycles_per_tick = 0.0
+        uplink_per_tick = 0.0
+        for name, cycles in self.node_cycles.items():
+            remote = genome.offloaded.get(name, False)
+            if remote:
+                proc = cycles / self.server.effective_hz
+                uplink_per_tick += self.node_uplink_bytes.get(name, 3000.0)
+            else:
+                proc = cycles / self.local.effective_hz
+                local_cycles_per_tick += cycles
+            if name in VDP_NODES:
+                vdp += proc
+                any_remote_vdp |= remote
+        if any_remote_vdp:
+            vdp += 2.0 * self.network_latency_s
+        v = max_velocity_oa(vdp, hardware_cap=1.0) * 0.8
+        t = self.path_length_m / max(v, 1e-9)
+        ticks = t * self.tick_rate_hz
+        k = self.local.switched_capacitance
+        e_compute = k * local_cycles_per_tick * ticks * self.local.freq_hz**2
+        e_trans = self.tx_power_w * 8.0 * uplink_per_tick * ticks / self.uplink_bps
+        e_fixed = 4.0 * t  # idle board + sensors + microcontroller
+        e_motor = 5.9 * v * t
+        return PredictedCost(
+            energy_j=e_compute + e_trans + e_fixed + e_motor,
+            time_s=t,
+            vdp_time_s=vdp,
+        )
+
+    # ------------------------------------------------------------------
+    # GA machinery
+    # ------------------------------------------------------------------
+    def random_genome(self, rng: np.random.Generator) -> PlacementGenome:
+        """A uniformly random placement."""
+        return PlacementGenome(
+            {n: bool(rng.random() < 0.5) for n in self.movable}
+        )
+
+    def _crossover(
+        self, a: PlacementGenome, b: PlacementGenome, rng: np.random.Generator
+    ) -> PlacementGenome:
+        return PlacementGenome(
+            {
+                n: (a.offloaded[n] if rng.random() < 0.5 else b.offloaded[n])
+                for n in self.movable
+            }
+        )
+
+    def _mutate(
+        self, g: PlacementGenome, rng: np.random.Generator, rate: float
+    ) -> PlacementGenome:
+        return PlacementGenome(
+            {
+                n: (not v if rng.random() < rate else v)
+                for n, v in g.offloaded.items()
+            }
+        )
+
+    def plan(
+        self,
+        population: int = 24,
+        generations: int = 40,
+        mutation_rate: float = 0.1,
+        seed: int = 0,
+    ) -> tuple[PlacementGenome, PredictedCost]:
+        """Run the GA; returns (best placement, its predicted cost)."""
+        if population < 4:
+            raise ValueError("population must be >= 4")
+        rng = seeded_rng(seed)
+        pop = [self.random_genome(rng) for _ in range(population)]
+
+        def fitness(g: PlacementGenome) -> float:
+            return self.predict(g).weighted(self.energy_weight, self.time_weight)
+
+        for _ in range(generations):
+            scored = sorted(pop, key=fitness)
+            elite = scored[: max(2, population // 6)]
+            children = list(elite)
+            while len(children) < population:
+                # tournament of 3
+                contenders = [pop[int(rng.integers(len(pop)))] for _ in range(3)]
+                a = min(contenders, key=fitness)
+                contenders = [pop[int(rng.integers(len(pop)))] for _ in range(3)]
+                b = min(contenders, key=fitness)
+                child = self._mutate(self._crossover(a, b, rng), rng, mutation_rate)
+                children.append(child)
+            pop = children
+        best = min(pop, key=fitness)
+        return best, self.predict(best)
+
+    def exhaustive_best(self) -> tuple[PlacementGenome, PredictedCost]:
+        """Brute-force optimum (feasible: the pipeline has few nodes)."""
+        best_g, best_c = None, None
+        n = len(self.movable)
+        for mask in range(2**n):
+            g = PlacementGenome(
+                {name: bool(mask >> i & 1) for i, name in enumerate(self.movable)}
+            )
+            c = self.predict(g)
+            score = c.weighted(self.energy_weight, self.time_weight)
+            if best_c is None or score < best_c.weighted(self.energy_weight, self.time_weight):
+                best_g, best_c = g, c
+        assert best_g is not None and best_c is not None
+        return best_g, best_c

@@ -1,0 +1,134 @@
+"""Access-point selection among multiple WAPs.
+
+§X's related work achieves robustness by *switching networks*: pick
+the best of several available links. The paper's critique is that this
+needs multiple links to exist; this extension implements the approach
+so the two can be compared — and so deployments that *do* have several
+WAPs can combine it with Algorithm 2.
+
+Selection policy: sticky best-RSSI with hysteresis (an association
+handover costs real time, so the selector only roams when another WAP
+is meaningfully stronger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.link import PositionProvider, WirelessLink
+from repro.network.signal import WapSite
+
+
+@dataclass
+class HandoverEvent:
+    """One WAP-to-WAP roam."""
+
+    t: float
+    from_wap: int
+    to_wap: int
+    rssi_dbm: float
+
+
+class AccessPointSelector:
+    """Sticky best-RSSI access-point selection.
+
+    Parameters
+    ----------
+    waps:
+        Candidate access points.
+    position:
+        The robot's position source.
+    hysteresis_db:
+        Another WAP must beat the current one by this margin to roam.
+    handover_cost_s:
+        Link outage incurred by each roam (association + DHCP-ish).
+    """
+
+    def __init__(
+        self,
+        waps: list[WapSite],
+        position: PositionProvider,
+        hysteresis_db: float = 6.0,
+        handover_cost_s: float = 0.8,
+    ) -> None:
+        if not waps:
+            raise ValueError("need at least one WAP")
+        if hysteresis_db < 0 or handover_cost_s < 0:
+            raise ValueError("hysteresis and handover cost must be non-negative")
+        self.waps = list(waps)
+        self.position = position
+        self.hysteresis_db = hysteresis_db
+        self.handover_cost_s = handover_cost_s
+        self.current = self._best_index()
+        self.handovers: list[HandoverEvent] = []
+        self._outage_until = -1e18
+
+    def _rssis(self) -> np.ndarray:
+        x, y = self.position()
+        return np.array([w.rssi_at(x, y) for w in self.waps])
+
+    def _best_index(self) -> int:
+        return int(np.argmax(self._rssis()))
+
+    def update(self, now: float) -> int:
+        """Re-evaluate the association; returns the active WAP index.
+
+        Roams only when the best candidate beats the current WAP by the
+        hysteresis margin; each roam opens a short outage window.
+        """
+        rssis = self._rssis()
+        best = int(np.argmax(rssis))
+        if best != self.current and rssis[best] > rssis[self.current] + self.hysteresis_db:
+            self.handovers.append(
+                HandoverEvent(now, self.current, best, float(rssis[best]))
+            )
+            self.current = best
+            self._outage_until = now + self.handover_cost_s
+        return self.current
+
+    def in_outage(self, now: float) -> bool:
+        """True while a handover outage is in progress."""
+        return now < self._outage_until
+
+    @property
+    def active_wap(self) -> WapSite:
+        """The currently associated access point."""
+        return self.waps[self.current]
+
+
+class MultiWapLink(WirelessLink):
+    """A wireless link that roams between several WAPs.
+
+    Drop-in replacement for :class:`~repro.network.link.WirelessLink`:
+    ``state()`` reflects the currently associated WAP, and packets sent
+    during a handover outage see zero quality.
+    """
+
+    def __init__(
+        self,
+        selector: AccessPointSelector,
+        rng: np.random.Generator,
+        **link_kwargs,
+    ) -> None:
+        super().__init__(
+            wap=selector.active_wap, position=selector.position, rng=rng, **link_kwargs
+        )
+        self.selector = selector
+        self._now = 0.0
+
+    def tick(self, now: float) -> None:
+        """Advance time and re-evaluate the association."""
+        self._now = now
+        self.selector.update(now)
+        self.wap = self.selector.active_wap
+
+    def state(self):
+        st = super().state()
+        if self.selector.in_outage(self._now):
+            # association in progress: the radio is deaf
+            return type(st)(
+                rssi_dbm=st.rssi_dbm, quality=0.0, rate_bps=0.0, distance_m=st.distance_m
+            )
+        return st

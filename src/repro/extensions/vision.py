@@ -1,0 +1,94 @@
+"""Vision-based LGV adaptation (§IX).
+
+The paper's strategies "can adapt to vision-based LGVs as well ...
+the only difference is that the localization failure effect needs to
+be considered: the vision-based LGV estimates its pose by tracking a
+set of points/features through successive camera frames. A slower
+speed is needed to prevent the localization failure due to the high
+rate of environment changes."
+
+This module models that effect: feature-track survival between frames
+falls with the optical flow magnitude (velocity x frame interval), and
+the localizer fails when too few tracks survive. The induced speed
+constraint composes with Eq. 2c by a simple min().
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.control.velocity_law import max_velocity_oa
+
+
+@dataclass(frozen=True)
+class VisionLocalizationModel:
+    """Feature-tracking survival model for a forward camera.
+
+    Attributes
+    ----------
+    n_features:
+        Features tracked per frame.
+    min_inliers:
+        Tracks needed for a valid pose estimate.
+    frame_rate_hz:
+        Camera rate; slower cameras lose more tracks per frame at the
+        same speed.
+    flow_scale_m:
+        Displacement per frame at which track survival drops to 1/e —
+        how far the scene can move before matching breaks down.
+    """
+
+    n_features: int = 200
+    min_inliers: int = 30
+    frame_rate_hz: float = 30.0
+    flow_scale_m: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_inliers <= self.n_features:
+            raise ValueError("need 0 < min_inliers <= n_features")
+        if self.frame_rate_hz <= 0 or self.flow_scale_m <= 0:
+            raise ValueError("frame rate and flow scale must be positive")
+
+    def survival_rate(self, velocity_mps: float) -> float:
+        """Fraction of tracks surviving one frame at ``velocity_mps``."""
+        if velocity_mps < 0:
+            raise ValueError("velocity must be non-negative")
+        displacement = velocity_mps / self.frame_rate_hz
+        return math.exp(-displacement / self.flow_scale_m)
+
+    def expected_inliers(self, velocity_mps: float) -> float:
+        """Expected surviving tracks per frame."""
+        return self.n_features * self.survival_rate(velocity_mps)
+
+    def localization_ok(self, velocity_mps: float) -> bool:
+        """Whether the pose estimate survives at this speed."""
+        return self.expected_inliers(velocity_mps) >= self.min_inliers
+
+    def max_tracking_velocity(self) -> float:
+        """The fastest speed keeping expected inliers above the floor.
+
+        Solves ``n * exp(-v / (rate * scale)) = min_inliers``.
+        """
+        return (
+            self.frame_rate_hz
+            * self.flow_scale_m
+            * math.log(self.n_features / self.min_inliers)
+        )
+
+
+def vision_safe_velocity(
+    processing_time_s: float,
+    model: VisionLocalizationModel = VisionLocalizationModel(),
+    stop_distance_m: float = 0.2,
+    max_accel: float = 2.0,
+    hardware_cap: float | None = 1.0,
+) -> float:
+    """Eq. 2c composed with the vision tracking constraint.
+
+    The vehicle obeys the tighter of the two limits: it must be able
+    to stop within ``d`` after the perception delay *and* keep its
+    feature tracks alive.
+    """
+    v_oa = max_velocity_oa(processing_time_s, stop_distance_m, max_accel, hardware_cap)
+    return min(v_oa, model.max_tracking_velocity())

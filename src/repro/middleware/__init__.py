@@ -1,0 +1,42 @@
+"""ROS-like middleware on top of the discrete-event kernel.
+
+Nodes subscribe to topics, publish typed messages, and run periodic
+timers. Each node is pinned to a :class:`~repro.compute.host.Host`;
+callbacks charge CPU cycles which the host turns into virtual
+processing time and energy. Cross-host deliveries are routed through a
+pluggable transport (the wireless network), same-host deliveries are
+instantaneous — exactly the distinction the paper's offloading
+decisions manipulate.
+"""
+
+from repro.middleware.messages import (
+    GoalMsg,
+    GridMsg,
+    Message,
+    OdomMsg,
+    PathMsg,
+    PoseMsg,
+    ScanMsg,
+    TwistMsg,
+)
+from repro.middleware.node import Node
+from repro.middleware.graph import Graph, Transport, InstantTransport
+from repro.middleware.qos import KeepLast
+from repro.middleware.serialization import serialized_size
+
+__all__ = [
+    "Message",
+    "ScanMsg",
+    "TwistMsg",
+    "OdomMsg",
+    "PoseMsg",
+    "GridMsg",
+    "PathMsg",
+    "GoalMsg",
+    "Node",
+    "Graph",
+    "Transport",
+    "InstantTransport",
+    "KeepLast",
+    "serialized_size",
+]

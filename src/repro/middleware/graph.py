@@ -1,0 +1,250 @@
+"""The node graph: topic routing, services, hosts, and migration.
+
+The graph is the reproduction's ROS master + transport layer. It knows
+which host every node runs on; a publish fans out to subscribers, and
+each delivery either happens instantly (same host) or is handed to the
+:class:`Transport`, which models the wireless link — latency, loss,
+kernel-buffer stalls. Moving a node between hosts (the mechanism behind
+Algorithm 1 and Algorithm 2) is :meth:`Graph.move_node`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Protocol
+
+from repro.compute.host import Host
+from repro.middleware.messages import Message
+from repro.middleware.node import Node
+from repro.middleware.serialization import serialized_size
+from repro.sim.kernel import Simulator
+
+
+class Transport(Protocol):
+    """Moves bytes between hosts.
+
+    ``send`` returns the one-way delivery latency in seconds, or
+    ``None`` if the packet was lost/discarded. Implementations live in
+    :mod:`repro.network`.
+    """
+
+    def send(self, src: Host, dst: Host, n_bytes: int, now: float) -> float | None:
+        """Latency for ``n_bytes`` from ``src`` to ``dst``, or ``None`` if dropped."""
+        ...
+
+    def rtt(self, a: Host, b: Host, n_bytes: int, now: float) -> float:
+        """Round-trip latency estimate for a small request/response pair."""
+        ...
+
+
+class InstantTransport:
+    """Zero-latency, lossless transport — the default for unit tests."""
+
+    def send(self, src: Host, dst: Host, n_bytes: int, now: float) -> float | None:
+        return 0.0
+
+    def rtt(self, a: Host, b: Host, n_bytes: int, now: float) -> float:
+        return 0.0
+
+
+ProcessedHook = Callable[[Node, str, float, float], None]
+
+
+class Graph:
+    """Wires nodes, topics, services and hosts together.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator driving everything.
+    transport:
+        Cross-host byte mover; defaults to :class:`InstantTransport`.
+    """
+
+    def __init__(self, sim: Simulator, transport: Transport | None = None) -> None:
+        self.sim = sim
+        self.transport: Transport = transport or InstantTransport()
+        self.nodes: dict[str, Node] = {}
+        self._subs: dict[str, list[Node]] = defaultdict(list)
+        self._services: dict[str, Node] = {}
+        self._service_handlers: dict[str, Callable[[Any], tuple[Any, float]]] = {}
+        self._processed_hooks: list[ProcessedHook] = []
+        self._publish_hooks: list[Callable[[Node, str, Message], None]] = []
+        self.migrations: list[tuple[float, str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, host: Host) -> Node:
+        """Attach ``node`` to the graph on ``host`` and start it."""
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        node.graph = self
+        node.host = host
+        self.nodes[node.name] = node
+        node.on_start()
+        # subscriptions made before attach (rare) are registered lazily
+        for topic in list(node._subs):
+            if node not in self._subs[topic]:
+                self._subs[topic].append(node)
+        return node
+
+    def register_subscription(self, node: Node, topic: str) -> None:
+        """Record that ``node`` wants ``topic`` (called from Node.subscribe)."""
+        if node not in self._subs[topic]:
+            self._subs[topic].append(node)
+
+    def node_host(self, name: str) -> Host:
+        """The host a node currently runs on."""
+        node = self.nodes[name]
+        assert node.host is not None
+        return node.host
+
+    # ------------------------------------------------------------------
+    # Pub/sub
+    # ------------------------------------------------------------------
+    def publish(self, src: Node, topic: str, msg: Message) -> None:
+        """Fan ``msg`` out to every subscriber of ``topic``.
+
+        Same-host deliveries are immediate; cross-host deliveries ask
+        the transport for a latency (or a drop).
+        """
+        msg.stamp = self.sim.now()
+        for hook in self._publish_hooks:
+            hook(src, topic, msg)
+        for sub in self._subs.get(topic, ()):  # stable order = registration order
+            if sub is src:
+                continue
+            if sub.host is src.host:
+                sub._deliver(topic, msg)
+            else:
+                assert src.host is not None and sub.host is not None
+                latency = self.transport.send(
+                    src.host, sub.host, serialized_size(msg), self.sim.now()
+                )
+                if latency is None:
+                    continue  # dropped
+                if latency <= 0:
+                    sub._deliver(topic, msg)
+                else:
+                    self.sim.schedule_after(
+                        latency,
+                        lambda s=sub, t=topic, m=msg: s._deliver(t, m),
+                        label=f"net:{topic}",
+                    )
+
+    def inject(self, topic: str, msg: Message, host: Host) -> None:
+        """Publish from outside any node (e.g. the physical sensor).
+
+        ``host`` is where the data originates — the LGV for sensors —
+        so cross-host subscribers still pay transport.
+        """
+        msg.stamp = self.sim.now()
+        for hook in self._publish_hooks:
+            hook_src = _ExternalSource(host)
+            hook(hook_src, topic, msg)
+        for sub in self._subs.get(topic, ()):
+            if sub.host is host:
+                sub._deliver(topic, msg)
+            else:
+                assert sub.host is not None
+                latency = self.transport.send(host, sub.host, serialized_size(msg), self.sim.now())
+                if latency is None:
+                    continue
+                if latency <= 0:
+                    sub._deliver(topic, msg)
+                else:
+                    self.sim.schedule_after(
+                        latency, lambda s=sub, t=topic, m=msg: s._deliver(t, m), label=f"net:{topic}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Services (client/server arrows of Fig. 2)
+    # ------------------------------------------------------------------
+    def advertise_service(
+        self, node: Node, name: str, handler: Callable[[Any], tuple[Any, float]]
+    ) -> None:
+        """Expose ``handler`` as service ``name`` on ``node``.
+
+        ``handler(request)`` returns ``(response, cycles)``; cycles are
+        charged to the provider's host.
+        """
+        if name in self._services:
+            raise ValueError(f"duplicate service {name!r}")
+        self._services[name] = node
+        self._service_handlers[name] = handler
+
+    def invoke_service(self, caller: Node, name: str, request: Any) -> tuple[Any, float]:
+        """Run service ``name``; returns (response, blocking_delay_s)."""
+        provider = self._services.get(name)
+        if provider is None:
+            raise KeyError(f"no such service: {name!r}")
+        handler = self._service_handlers[name]
+        response, cycles = handler(request)
+        assert provider.host is not None and caller.host is not None
+        proc = provider.host.exec_time(cycles, provider.threads, provider.parallel_profile)
+        provider.host.account(provider.name, cycles, proc)
+        delay = proc
+        if provider.host is not caller.host:
+            delay += self.transport.rtt(caller.host, provider.host, 256, self.sim.now())
+        return response, delay
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def move_node(self, name: str, new_host: Host, transfer: bool = True) -> float:
+        """Move a node to ``new_host``; returns the pause duration (s).
+
+        During the pause the node drops input (its state is in flight).
+        With ``transfer=False`` the move is instantaneous — used when a
+        warm replica already exists on the target.
+        """
+        node = self.nodes[name]
+        assert node.host is not None
+        old_host = node.host
+        if old_host is new_host:
+            return 0.0
+        state_bytes = node.on_migrate(new_host)
+        pause = 0.0
+        if transfer:
+            latency = self.transport.send(old_host, new_host, state_bytes, self.sim.now())
+            pause = latency if latency is not None else self.transport.rtt(
+                old_host, new_host, state_bytes, self.sim.now()
+            )
+        self.migrations.append((self.sim.now(), name, old_host.name, new_host.name))
+        node._paused = True
+        node.host = new_host
+
+        def resume() -> None:
+            node._paused = False
+            node._try_process()
+
+        if pause > 0:
+            self.sim.schedule_after(pause, resume, label=f"migrate:{name}")
+        else:
+            resume()
+        return pause
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def on_processed(self, hook: ProcessedHook) -> None:
+        """Register a hook(node, trigger, cycles, proc_time) after each callback."""
+        self._processed_hooks.append(hook)
+
+    def on_publish(self, hook: Callable[[Node, str, Message], None]) -> None:
+        """Register a hook(src_node, topic, msg) on every publish."""
+        self._publish_hooks.append(hook)
+
+    def notify_processed(self, node: Node, trigger: str, cycles: float, proc: float) -> None:
+        """Internal: fan a processed-callback event to hooks."""
+        for hook in self._processed_hooks:
+            hook(node, trigger, cycles, proc)
+
+
+class _ExternalSource(Node):
+    """Pseudo-node standing in for out-of-graph publishers in hooks."""
+
+    def __init__(self, host: Host) -> None:
+        super().__init__("__external__")
+        self.host = host

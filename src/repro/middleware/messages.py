@@ -1,0 +1,114 @@
+"""Typed messages exchanged between nodes.
+
+Sizes mirror the paper's measurements: velocity commands are tiny
+(48 B), laser scans are the largest payload (~2.94 KB), grids scale
+with their cell count. ``size_bytes`` drives both transmission energy
+(Eq. 1b) and the network models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.world.geometry import Pose2D
+from repro.world.lidar import LidarScan
+
+
+@dataclass
+class Message:
+    """Base class for middleware messages."""
+
+    stamp: float = 0.0
+
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (protobuf-like estimate)."""
+        return 16
+
+
+@dataclass
+class ScanMsg(Message):
+    """A lidar sweep; wraps :class:`~repro.world.lidar.LidarScan`."""
+
+    scan: LidarScan | None = None
+
+    def size_bytes(self) -> int:
+        return self.scan.size_bytes() if self.scan is not None else 16
+
+
+@dataclass
+class TwistMsg(Message):
+    """A velocity command: linear (m/s) and angular (rad/s) speed.
+
+    ``priority`` and ``source`` feed the velocity multiplexer; ROS's
+    geometry_msgs/Twist is 48 bytes, matching the paper.
+    """
+
+    v: float = 0.0
+    w: float = 0.0
+    priority: int = 0
+    source: str = "path_tracking"
+
+    def size_bytes(self) -> int:
+        return 48
+
+
+@dataclass
+class OdomMsg(Message):
+    """Wheel-odometry pose and commanded velocities."""
+
+    pose: Pose2D = field(default_factory=Pose2D)
+    v: float = 0.0
+    w: float = 0.0
+
+    def size_bytes(self) -> int:
+        return 88
+
+
+@dataclass
+class PoseMsg(Message):
+    """A localization estimate (AMCL or SLAM output) with covariance trace."""
+
+    pose: Pose2D = field(default_factory=Pose2D)
+    covariance_trace: float = 0.0
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+@dataclass
+class GridMsg(Message):
+    """An occupancy grid / costmap payload.
+
+    Carries the raw array plus georeferencing; size is one byte per
+    cell (int8) plus a header, as ROS serializes it.
+    """
+
+    data: np.ndarray | None = None
+    resolution: float = 0.05
+    origin: Pose2D = field(default_factory=Pose2D)
+
+    def size_bytes(self) -> int:
+        n = 0 if self.data is None else int(self.data.size)
+        return 64 + n
+
+
+@dataclass
+class PathMsg(Message):
+    """A planned path as an (N, 2) array of world waypoints."""
+
+    waypoints: np.ndarray = field(default_factory=lambda: np.empty((0, 2)))
+
+    def size_bytes(self) -> int:
+        return 32 + 16 * int(len(self.waypoints))
+
+
+@dataclass
+class GoalMsg(Message):
+    """A navigation goal pose."""
+
+    goal: Pose2D = field(default_factory=Pose2D)
+
+    def size_bytes(self) -> int:
+        return 40

@@ -1,0 +1,46 @@
+"""Quality-of-service policies for subscriber queues.
+
+The paper's VDP nodes use a UDP pattern with a one-length queue so
+controllers always act on the freshest data; that is :class:`KeepLast`
+with depth 1, the default everywhere in this reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+
+class KeepLast:
+    """A bounded FIFO that discards the *oldest* entry when full.
+
+    ``depth=1`` degenerates to "latest message wins", the data-freshness
+    semantics robot control loops want.
+    """
+
+    def __init__(self, depth: int = 1) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._q: deque[Any] = deque(maxlen=depth)
+        self.dropped = 0
+
+    def push(self, item: Any) -> None:
+        """Add ``item``; silently evicts the oldest when at capacity."""
+        if len(self._q) == self.depth:
+            self.dropped += 1
+        self._q.append(item)
+
+    def pop(self) -> Any:
+        """Remove and return the oldest queued item."""
+        return self._q.popleft()
+
+    def clear(self) -> None:
+        """Drop everything queued."""
+        self._q.clear()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)

@@ -1,0 +1,20 @@
+"""Serialization size model.
+
+The paper's Switcher serializes ROS messages with protobuf before
+shipping them over evpp. We model only what matters for energy/latency:
+the wire size. ``serialized_size`` adds the framing overhead the
+Switcher's temporal annotations introduce (timestamp + node id).
+"""
+
+from __future__ import annotations
+
+from repro.middleware.messages import Message
+
+#: Bytes the Switcher prepends: 8 B send timestamp, 8 B sequence,
+#: 8 B source node hash (protobuf varints rounded up).
+FRAMING_OVERHEAD_BYTES = 24
+
+
+def serialized_size(msg: Message) -> int:
+    """Wire size of ``msg`` in bytes, including Switcher framing."""
+    return msg.size_bytes() + FRAMING_OVERHEAD_BYTES

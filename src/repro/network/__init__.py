@@ -1,0 +1,31 @@
+"""Wireless network substrate.
+
+Models the 5 GHz link between the LGV and the wireless access point
+(WAP), plus the wired hop to the cloud. The UDP channel reproduces the
+paper's Fig. 7 pathology: under weak signal the driver blocks the
+kernel buffer, later packets are silently discarded, and the latency
+of the packets that *do* arrive keeps looking healthy — which is why
+Algorithm 2 predicts quality from packet bandwidth and signal
+direction instead.
+"""
+
+from repro.network.signal import PathLossModel, WapSite, link_quality
+from repro.network.link import WirelessLink
+from repro.network.udp import UdpChannel, UdpStats
+from repro.network.tcp import ReliableChannel
+from repro.network.fabric import NetworkFabric
+from repro.network.monitor import BandwidthMonitor, RttMonitor, SignalDirectionEstimator
+
+__all__ = [
+    "PathLossModel",
+    "WapSite",
+    "link_quality",
+    "WirelessLink",
+    "UdpChannel",
+    "UdpStats",
+    "ReliableChannel",
+    "NetworkFabric",
+    "BandwidthMonitor",
+    "RttMonitor",
+    "SignalDirectionEstimator",
+]

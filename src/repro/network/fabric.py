@@ -1,0 +1,94 @@
+"""The network fabric: routes graph traffic across the topology.
+
+Implements the middleware :class:`~repro.middleware.graph.Transport`
+protocol for the paper's topology: LGV --wireless--> WAP --wired-->
+{edge gateway | cloud}. Uplink packets (robot -> server) are priced
+for transmission energy per Eq. 1b and charged to the LGV; receive
+energy is ignored, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compute.host import Host
+from repro.network.link import WirelessLink
+from repro.network.tcp import ReliableChannel
+from repro.network.udp import UdpChannel
+
+
+class NetworkFabric:
+    """Transport over one wireless hop plus per-server wired hops.
+
+    Parameters
+    ----------
+    link:
+        The LGV <-> WAP radio.
+    wired_latency:
+        Host name -> one-way wired latency (s) between the WAP and that
+        server. The edge gateway sits on the LAN (~0.5 ms); the cloud
+        datacenter is tens of ms away.
+    energy_sink:
+        Called with joules for every uplink transmission (wired to
+        :meth:`repro.vehicle.robot.LGV.account_wireless_energy`).
+    """
+
+    def __init__(
+        self,
+        link: WirelessLink,
+        wired_latency: dict[str, float] | None = None,
+        energy_sink: Callable[[float], None] | None = None,
+    ) -> None:
+        self.link = link
+        self.wired_latency = dict(wired_latency or {})
+        self.energy_sink = energy_sink
+        self.uplink = UdpChannel(link)
+        self.downlink = UdpChannel(link)
+        self.control = ReliableChannel(link)
+
+    # ------------------------------------------------------------------
+    # Transport protocol
+    # ------------------------------------------------------------------
+    def send(self, src: Host, dst: Host, n_bytes: int, now: float) -> float | None:
+        """Datagram latency from ``src`` to ``dst``, or ``None`` if lost."""
+        if src is dst:
+            return 0.0
+        if src.on_robot and dst.on_robot:
+            return 0.0
+        if not src.on_robot and not dst.on_robot:
+            return self._wired(src.name) + self._wired(dst.name)
+        if src.on_robot:
+            # Uplink: pay radio energy for anything the driver transmits.
+            st = self.link.state()
+            latency = self.uplink.send(n_bytes, now)
+            if self.energy_sink is not None and st.quality >= self.uplink.block_quality:
+                self.energy_sink(self.link.tx_energy(n_bytes, st))
+            if latency is None:
+                return None
+            return latency + self._wired(dst.name)
+        # Downlink: WAP transmits; robot pays nothing.
+        latency = self.downlink.send(n_bytes, now)
+        if latency is None:
+            return None
+        return latency + self._wired(src.name)
+
+    def rtt(self, a: Host, b: Host, n_bytes: int, now: float) -> float:
+        """Reliable round-trip estimate (control-plane, small payloads)."""
+        one_way = self.reliable_send(a, b, n_bytes, now)
+        back = self.reliable_send(b, a, 64, now)
+        return one_way + back
+
+    def reliable_send(self, src: Host, dst: Host, n_bytes: int, now: float) -> float:
+        """Latency for a retransmitted-until-delivered transfer."""
+        if src is dst or (src.on_robot and dst.on_robot):
+            return 0.0
+        if not src.on_robot and not dst.on_robot:
+            return self._wired(src.name) + self._wired(dst.name)
+        air = self.control.send(n_bytes, now)
+        if src.on_robot and self.energy_sink is not None:
+            self.energy_sink(self.link.tx_energy(n_bytes))
+        other = dst if src.on_robot else src
+        return air + self._wired(other.name)
+
+    def _wired(self, host_name: str) -> float:
+        return self.wired_latency.get(host_name, 0.0)

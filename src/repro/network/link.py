@@ -1,0 +1,98 @@
+"""The wireless link: per-packet latency, loss, and transmit energy.
+
+One :class:`WirelessLink` instance models the LGV's radio association
+with the WAP. It asks a position provider where the robot currently
+is, derives RSSI → quality → rate, and prices each packet. The wired
+hop beyond the WAP adds a fixed latency (small for the lab gateway,
+larger for the remote datacenter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.network.signal import WapSite, link_quality, phy_rate
+
+PositionProvider = Callable[[], tuple[float, float]]
+
+
+@dataclass
+class LinkState:
+    """Instantaneous link condition at one packet send."""
+
+    rssi_dbm: float
+    quality: float
+    rate_bps: float
+    distance_m: float
+
+
+@dataclass
+class WirelessLink:
+    """The LGV <-> WAP radio link.
+
+    Parameters
+    ----------
+    wap:
+        The access point site and propagation model.
+    position:
+        Callable returning the robot's current (x, y).
+    rng:
+        Source for fading/jitter/drop randomness.
+    base_latency_s:
+        Fixed per-packet medium-access latency.
+    jitter_s:
+        Exponential-tail jitter scale added per packet.
+    tx_power_w:
+        Radio transmit power ``P_trans`` of Eq. 1b; with the airtime
+        ``D_trans / R_uplink`` it prices transmission energy.
+    """
+
+    wap: WapSite
+    position: PositionProvider
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    base_latency_s: float = 0.002
+    jitter_s: float = 0.001
+    tx_power_w: float = 1.2
+
+    def state(self) -> LinkState:
+        """Sample the current link condition at the robot's position."""
+        x, y = self.position()
+        rssi = self.wap.rssi_at(x, y, self.rng if self.wap.model.shadow_sigma_db > 0 else None)
+        return LinkState(
+            rssi_dbm=rssi,
+            quality=link_quality(rssi),
+            rate_bps=phy_rate(rssi),
+            distance_m=self.wap.distance_to(x, y),
+        )
+
+    def airtime(self, n_bytes: int, state: LinkState | None = None) -> float:
+        """Seconds of radio airtime to push ``n_bytes`` at the current rate.
+
+        Infinite when the link is out of range (rate 0).
+        """
+        st = state or self.state()
+        if st.rate_bps <= 0:
+            return float("inf")
+        return 8.0 * n_bytes / st.rate_bps
+
+    def tx_energy(self, n_bytes: int, state: LinkState | None = None) -> float:
+        """Transmit energy (J) for ``n_bytes``: Eq. 1b's P_trans * D / R.
+
+        Out-of-range sends burn one full retry window of radio time.
+        """
+        t = self.airtime(n_bytes, state)
+        if t == float("inf"):
+            t = 0.01
+        return self.tx_power_w * t
+
+    def delivery_roll(self, state: LinkState) -> bool:
+        """Bernoulli draw: does a packet survive the air at this quality?"""
+        return bool(self.rng.random() < state.quality)
+
+    def packet_latency(self, n_bytes: int, state: LinkState) -> float:
+        """One-way air latency for a delivered packet."""
+        jitter = float(self.rng.exponential(self.jitter_s))
+        return self.base_latency_s + self.airtime(n_bytes, state) + jitter

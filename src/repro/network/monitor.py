@@ -1,0 +1,119 @@
+"""Network quality monitors used by the Profiler (§VII).
+
+Three instruments:
+
+* :class:`BandwidthMonitor` — messages received per second over a
+  sliding window; with a fixed sender rate this *is* the packet-loss
+  signal Algorithm 2 keys on.
+* :class:`RttMonitor` — round-trip samples with tail statistics; the
+  metric prior work used and the paper shows is misleading under UDP.
+* :class:`SignalDirectionEstimator` — sign of the robot's radial
+  motion relative to the WAP (positive = approaching), the mobility
+  feature of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+
+class BandwidthMonitor:
+    """Sliding-window receive-rate counter.
+
+    ``record(t)`` marks one received message at virtual time ``t``;
+    ``rate(now)`` returns messages/second over the trailing window.
+    """
+
+    def __init__(self, window_s: float = 1.0) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s}")
+        self.window_s = window_s
+        self._times: deque[float] = deque()
+        self.total = 0
+
+    def record(self, t: float) -> None:
+        """Mark one arrival at time ``t`` (must be non-decreasing)."""
+        if self._times and t < self._times[-1]:
+            raise ValueError("arrival times must be non-decreasing")
+        self._times.append(t)
+        self.total += 1
+
+    def rate(self, now: float) -> float:
+        """Arrivals per second over [now - window, now]."""
+        cutoff = now - self.window_s
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()
+        return len(self._times) / self.window_s
+
+
+class RttMonitor:
+    """Round-trip-time sampler with tail statistics."""
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        self._samples: deque[float] = deque(maxlen=max_samples)
+
+    def record(self, rtt_s: float) -> None:
+        """Add one RTT sample."""
+        if rtt_s < 0:
+            raise ValueError("rtt must be non-negative")
+        self._samples.append(rtt_s)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        """Mean RTT; NaN with no samples."""
+        if not self._samples:
+            return math.nan
+        return float(np.mean(self._samples))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile RTT (e.g. 99, 99.99); NaN if empty."""
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(np.fromiter(self._samples, dtype=float), q))
+
+    def worst(self) -> float:
+        """Worst-case observed RTT; NaN if empty."""
+        if not self._samples:
+            return math.nan
+        return max(self._samples)
+
+
+class SignalDirectionEstimator:
+    """Estimates whether the LGV is moving toward or away from the WAP.
+
+    Uses the WAP position marked in the robot's internal map (as the
+    paper describes) and the robot's own pose estimates. The direction
+    is the smoothed negative derivative of distance: > 0 approaching,
+    < 0 receding.
+    """
+
+    def __init__(self, wap_xy: tuple[float, float], smoothing: int = 3) -> None:
+        if smoothing < 1:
+            raise ValueError("smoothing must be >= 1")
+        self.wap_xy = wap_xy
+        self._deltas: deque[float] = deque(maxlen=smoothing)
+        self._last: tuple[float, float] | None = None  # (t, distance)
+
+    def record(self, t: float, x: float, y: float) -> None:
+        """Feed one pose estimate at virtual time ``t``."""
+        d = math.hypot(x - self.wap_xy[0], y - self.wap_xy[1])
+        if self._last is not None:
+            t0, d0 = self._last
+            if t > t0:
+                self._deltas.append(-(d - d0) / (t - t0))
+        self._last = (t, d)
+
+    def direction(self) -> float:
+        """Smoothed radial speed toward the WAP (m/s); 0 when unknown."""
+        if not self._deltas:
+            return 0.0
+        return float(np.mean(self._deltas))
+
+    def approaching(self) -> bool:
+        """True when the robot is closing on the WAP."""
+        return self.direction() > 0.0

@@ -1,0 +1,86 @@
+"""Radio signal model: log-distance path loss and link quality.
+
+A single WAP serves the arena. Received signal strength falls with
+log-distance; link quality maps RSSI to [0, 1] with a soft knee, and
+the modulation ladder maps RSSI to an achievable PHY rate. The
+"unstable area" of Fig. 11 is simply the region where RSSI drops
+below the knee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with optional shadow fading.
+
+    RSSI(d) = tx_power_dbm - ref_loss_db - 10 * exponent * log10(d / 1 m)
+
+    Defaults approximate a 5 GHz indoor link through lab walls: solid
+    within ~10 m of the WAP, unstable past ~14 m, dead past ~25 m —
+    so normal missions stay connected and Fig. 11's dead zone sits at
+    the arena's far corner.
+    """
+
+    tx_power_dbm: float = 15.0
+    ref_loss_db: float = 61.0
+    exponent: float = 2.6
+    shadow_sigma_db: float = 0.0
+
+    def rssi(self, distance_m: float, rng: np.random.Generator | None = None) -> float:
+        """RSSI in dBm at ``distance_m`` from the WAP."""
+        d = max(distance_m, 0.1)
+        rssi = self.tx_power_dbm - self.ref_loss_db - 10.0 * self.exponent * math.log10(d)
+        if rng is not None and self.shadow_sigma_db > 0:
+            rssi += float(rng.normal(0.0, self.shadow_sigma_db))
+        return rssi
+
+
+def link_quality(rssi_dbm: float, knee_dbm: float = -76.0, width_db: float = 2.0) -> float:
+    """Map RSSI to a delivery-quality score in [0, 1].
+
+    A logistic knee: ~1 above ``knee + 2*width``, ~0 below
+    ``knee - 2*width``. Delivery probability and rate selection both
+    derive from this.
+    """
+    return 1.0 / (1.0 + math.exp(-(rssi_dbm - knee_dbm) / width_db))
+
+
+#: 802.11-style modulation ladder: (min RSSI dBm, PHY rate bit/s).
+MCS_LADDER: tuple[tuple[float, float], ...] = (
+    (-60.0, 54e6),
+    (-67.0, 24e6),
+    (-72.0, 12e6),
+    (-77.0, 6e6),
+    (-82.0, 1e6),
+)
+
+
+def phy_rate(rssi_dbm: float) -> float:
+    """Achievable PHY rate (bit/s) at ``rssi_dbm``; 0 when out of range."""
+    for threshold, rate in MCS_LADDER:
+        if rssi_dbm >= threshold:
+            return rate
+    return 0.0
+
+
+@dataclass
+class WapSite:
+    """A wireless access point at a fixed world position."""
+
+    x: float
+    y: float
+    model: PathLossModel = PathLossModel()
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance from (x, y) to the WAP."""
+        return math.hypot(x - self.x, y - self.y)
+
+    def rssi_at(self, x: float, y: float, rng: np.random.Generator | None = None) -> float:
+        """RSSI seen by a radio at (x, y)."""
+        return self.model.rssi(self.distance_to(x, y), rng)

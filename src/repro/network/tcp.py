@@ -1,0 +1,45 @@
+"""Reliable (TCP-like) channel.
+
+Used for control-plane traffic — state migration, profiling reports —
+where delivery matters more than freshness. Losses become
+retransmission delay instead of drops; an out-of-range link degrades
+to very large latencies rather than silence.
+"""
+
+from __future__ import annotations
+
+from repro.network.link import WirelessLink
+
+
+class ReliableChannel:
+    """Retransmitting channel over a :class:`WirelessLink`.
+
+    ``send`` always returns a latency; each failed delivery roll adds
+    one retransmission timeout.
+    """
+
+    def __init__(
+        self,
+        link: WirelessLink,
+        rto_s: float = 0.2,
+        max_retries: int = 12,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.link = link
+        self.rto_s = rto_s
+        self.max_retries = max_retries
+        self.retransmissions = 0
+
+    def send(self, n_bytes: int, now: float) -> float:
+        """Latency to reliably deliver ``n_bytes`` (retries included)."""
+        total = 0.0
+        for attempt in range(self.max_retries + 1):
+            st = self.link.state()
+            if st.rate_bps > 0 and self.link.delivery_roll(st):
+                return total + self.link.packet_latency(n_bytes, st)
+            self.retransmissions += 1
+            total += self.rto_s * (2**min(attempt, 5))
+        # Give up pretending it's fast: report the accumulated backoff
+        # plus one nominal transmission at the floor rate.
+        return total + self.rto_s

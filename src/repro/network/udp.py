@@ -1,0 +1,127 @@
+"""UDP channel with the paper's Fig. 7 kernel-buffer semantics.
+
+The sending path is: user buffer --sendto--> kernel buffer --driver-->
+air. When the driver detects weak signal it *blocks*, holding packets
+in the kernel buffer; because the socket is non-blocking, sends that
+arrive while the buffer is full are silently discarded. When the
+signal recovers, the driver flushes the held packets — they arrive
+late but they arrive, so receiver-side latency statistics on delivered
+packets look healthy even while most traffic is being thrown away.
+That asymmetry is exactly why the paper's Algorithm 2 trusts packet
+bandwidth + signal direction, not latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.link import WirelessLink
+
+
+@dataclass
+class UdpStats:
+    """Counters for one UDP channel direction."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_air: int = 0
+    dropped_buffer: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    latencies: list[float] = field(default_factory=list)
+    delivery_times: list[float] = field(default_factory=list)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent packets that never arrived."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.delivered / self.sent
+
+
+class UdpChannel:
+    """Best-effort datagram channel over a :class:`WirelessLink`.
+
+    ``send`` returns the one-way delivery latency, or ``None`` for a
+    discarded packet. The channel is direction-agnostic; uplink energy
+    accounting is done by the fabric that owns it.
+
+    Parameters
+    ----------
+    link:
+        The radio link pricing each packet.
+    kernel_buffer_packets:
+        Capacity of the driver-side buffer that fills when the driver
+        blocks under weak signal.
+    block_quality:
+        Link quality below which the driver holds packets instead of
+        transmitting (the "weak signal" detection of Fig. 7).
+    """
+
+    def __init__(
+        self,
+        link: WirelessLink,
+        kernel_buffer_packets: int = 2,
+        block_quality: float = 0.55,
+    ) -> None:
+        self.link = link
+        self.kernel_capacity = kernel_buffer_packets
+        self.block_quality = block_quality
+        self.stats = UdpStats()
+        self._kernel_buffer: list[tuple[float, int]] = []  # (enqueue_time, bytes)
+
+    def send(self, n_bytes: int, now: float) -> float | None:
+        """Attempt to send ``n_bytes`` at virtual time ``now``.
+
+        Returns the one-way latency for a delivered packet, ``None``
+        for a drop (either a full kernel buffer or loss in the air).
+        Held packets flush automatically on the next send that sees a
+        healthy signal; their (large) latencies are recorded in stats
+        but, having stale payloads, they do not resurrect old messages
+        — keep-last-1 consumers only ever want the newest datagram.
+        """
+        st = self.link.state()
+        self.stats.sent += 1
+        self.stats.bytes_sent += n_bytes
+
+        if st.quality < self.block_quality:
+            # Driver blocks: hold in kernel buffer; discard when full.
+            if len(self._kernel_buffer) >= self.kernel_capacity:
+                self.stats.dropped_buffer += 1
+                return None
+            self._kernel_buffer.append((now, n_bytes))
+            # The packet *may* eventually go out, but its payload will
+            # be stale; treat it as undelivered for freshness purposes.
+            return None
+
+        # Healthy signal: flush anything the driver was holding first.
+        self._flush_held(now, st)
+
+        if not self.link.delivery_roll(st):
+            self.stats.dropped_air += 1
+            return None
+        latency = self.link.packet_latency(n_bytes, st)
+        self._record_delivery(latency, now)
+        self.stats.bytes_delivered += n_bytes
+        return latency
+
+    def _flush_held(self, now: float, st) -> None:
+        for enq_time, nb in self._kernel_buffer:
+            if self.link.delivery_roll(st):
+                held = now - enq_time
+                latency = held + self.link.packet_latency(nb, st)
+                self._record_delivery(latency, now)
+                self.stats.bytes_delivered += nb
+            else:
+                self.stats.dropped_air += 1
+        self._kernel_buffer.clear()
+
+    def _record_delivery(self, latency: float, now: float) -> None:
+        self.stats.delivered += 1
+        self.stats.latencies.append(latency)
+        self.stats.delivery_times.append(now + latency)
+
+    @property
+    def held_packets(self) -> int:
+        """Packets currently stuck in the blocked kernel buffer."""
+        return len(self._kernel_buffer)

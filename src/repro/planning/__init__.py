@@ -1,0 +1,22 @@
+"""Planning: grid path search (A*, Dijkstra) and frontier exploration.
+
+The Path Planning node of Fig. 2 wraps :class:`GlobalPlanner`; the
+Exploration node wraps :func:`find_frontiers` /
+:class:`FrontierExplorer` (Yamauchi's frontier-based method, the
+paper's choice).
+"""
+
+from repro.planning.search import astar, dijkstra, PlanningError
+from repro.planning.global_planner import GlobalPlanner, plan_cycles
+from repro.planning.frontier import FrontierExplorer, find_frontiers, exploration_cycles
+
+__all__ = [
+    "astar",
+    "dijkstra",
+    "PlanningError",
+    "GlobalPlanner",
+    "plan_cycles",
+    "FrontierExplorer",
+    "find_frontiers",
+    "exploration_cycles",
+]

@@ -1,0 +1,116 @@
+"""Global planner: world-coordinate facade over the grid search.
+
+Reimplements ROS ``global_planner``: plan on the costmap from a start
+pose to a goal pose, simplify the cell path into sparse waypoints, and
+fall back to the nearest traversable cell when an endpoint sits inside
+the inflation ring (ROS's goal-tolerance behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.perception.costmap import CostValues, LayeredCostmap
+from repro.planning.search import PlanningError, astar, dijkstra
+from repro.world.geometry import Pose2D
+
+
+class GlobalPlanner:
+    """Plans collision-free world paths on a :class:`LayeredCostmap`.
+
+    Parameters
+    ----------
+    costmap:
+        The costmap to plan on (shared with CostmapGen).
+    algorithm:
+        ``"astar"`` (default) or ``"dijkstra"`` — the two options the
+        paper wires into ROS global_planner.
+    """
+
+    def __init__(self, costmap: LayeredCostmap, algorithm: str = "astar") -> None:
+        if algorithm not in ("astar", "dijkstra"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.costmap = costmap
+        self.algorithm = algorithm
+        self.plans_made = 0
+
+    def plan(self, start: Pose2D, goal: Pose2D) -> np.ndarray:
+        """Plan from ``start`` to ``goal``; returns (N, 2) world waypoints.
+
+        Endpoints are snapped to the nearest traversable cell within
+        0.5 m; raises :class:`PlanningError` if none exists or the
+        goal is unreachable.
+        """
+        cm = self.costmap
+        s = self._snap(start)
+        g = self._snap(goal)
+        search = astar if self.algorithm == "astar" else dijkstra
+        cells = search(cm.cost, s, g, lethal_threshold=CostValues.INSCRIBED)
+        self.plans_made += 1
+        pts = np.array(
+            [
+                [cm.origin.x + c * cm.resolution, cm.origin.y + r * cm.resolution]
+                for r, c in cells
+            ]
+        )
+        return _simplify(pts)
+
+    def _snap(self, pose: Pose2D) -> tuple[int, int]:
+        cm = self.costmap
+        r = int(np.floor((pose.y - cm.origin.y) / cm.resolution + 0.5))
+        c = int(np.floor((pose.x - cm.origin.x) / cm.resolution + 0.5))
+        r = int(np.clip(r, 0, cm.rows - 1))
+        c = int(np.clip(c, 0, cm.cols - 1))
+        if cm.cost[r, c] < CostValues.INSCRIBED:
+            return r, c
+        # nearest traversable cell within 0.5 m
+        radius_cells = int(0.5 / cm.resolution)
+        window = cm.cost[
+            max(0, r - radius_cells) : r + radius_cells + 1,
+            max(0, c - radius_cells) : c + radius_cells + 1,
+        ]
+        free = np.argwhere(window < CostValues.INSCRIBED)
+        if len(free) == 0:
+            raise PlanningError(f"no traversable cell near ({pose.x:.2f}, {pose.y:.2f})")
+        rr = free[:, 0] + max(0, r - radius_cells)
+        cc = free[:, 1] + max(0, c - radius_cells)
+        d2 = (rr - r) ** 2 + (cc - c) ** 2
+        i = int(np.argmin(d2))
+        return int(rr[i]), int(cc[i])
+
+
+def _simplify(pts: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """Drop collinear intermediate waypoints (keeps path geometry)."""
+    if len(pts) <= 2:
+        return pts
+    keep = [0]
+    for i in range(1, len(pts) - 1):
+        a, b, c = pts[keep[-1]], pts[i], pts[i + 1]
+        cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+        if abs(cross) > tol:
+            keep.append(i)
+    keep.append(len(pts) - 1)
+    return pts[keep]
+
+
+#: Reference cycles per expanded cell of grid search.
+CYCLES_PER_CELL = 450.0
+#: Fixed overhead per plan request.
+CYCLES_PLAN_BASE = 3.0e5
+
+
+def plan_cycles(path_cells: int, map_cells: int, algorithm: str = "astar") -> float:
+    """Modeled reference-cycle cost of one Path Planning request.
+
+    A* expands a corridor around the path; Dijkstra floods a large
+    fraction of the map. Table II's Path Planning row is small (2% of
+    the with-map workload) because plans are infrequent.
+    """
+    if path_cells < 0 or map_cells < 0:
+        raise ValueError("counts must be non-negative")
+    if algorithm == "astar":
+        expanded = min(map_cells, 40.0 * path_cells)
+    else:
+        expanded = 0.6 * map_cells
+    return CYCLES_PLAN_BASE + CYCLES_PER_CELL * expanded

@@ -1,0 +1,125 @@
+"""Grid path search: A* (Hart/Nilsson/Raphael) and Dijkstra.
+
+8-connected search over a cost array. Cells at or above a lethal
+threshold are impassable; sub-lethal cost is added to the edge weight
+so paths prefer clearance (what the inflation layer is for). A* with a
+zero-weight heuristic *is* Dijkstra, so both share one implementation,
+matching how ROS global_planner offers the two algorithms the paper
+lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+#: Edge weight multiplier applied to the average cell cost.
+COST_WEIGHT = 0.04
+
+
+class PlanningError(Exception):
+    """No path exists between the requested endpoints."""
+
+
+_NEIGHBORS = [
+    (-1, -1, math.sqrt(2)), (-1, 0, 1.0), (-1, 1, math.sqrt(2)),
+    (0, -1, 1.0), (0, 1, 1.0),
+    (1, -1, math.sqrt(2)), (1, 0, 1.0), (1, 1, math.sqrt(2)),
+]
+
+
+def _search(
+    cost: np.ndarray,
+    start: tuple[int, int],
+    goal: tuple[int, int],
+    lethal_threshold: int,
+    heuristic_weight: float,
+) -> list[tuple[int, int]]:
+    cost = np.asarray(cost, dtype=np.float64)  # uint8 input would overflow in edge sums
+    rows, cols = cost.shape
+    sr, sc = start
+    gr, gc = goal
+    if not (0 <= sr < rows and 0 <= sc < cols):
+        raise PlanningError(f"start {start} out of bounds")
+    if not (0 <= gr < rows and 0 <= gc < cols):
+        raise PlanningError(f"goal {goal} out of bounds")
+    if cost[sr, sc] >= lethal_threshold:
+        raise PlanningError(f"start {start} is in lethal space")
+    if cost[gr, gc] >= lethal_threshold:
+        raise PlanningError(f"goal {goal} is in lethal space")
+
+    g = np.full((rows, cols), np.inf)
+    g[sr, sc] = 0.0
+    parent = np.full((rows, cols, 2), -1, dtype=np.int32)
+    closed = np.zeros((rows, cols), dtype=bool)
+
+    def h(r: int, c: int) -> float:
+        # octile distance — admissible for 8-connected unit grids
+        dr, dc = abs(r - gr), abs(c - gc)
+        return heuristic_weight * (max(dr, dc) + (math.sqrt(2) - 1) * min(dr, dc))
+
+    heap: list[tuple[float, int, int]] = [(h(sr, sc), sr, sc)]
+    while heap:
+        _, r, c = heapq.heappop(heap)
+        if closed[r, c]:
+            continue
+        closed[r, c] = True
+        if (r, c) == (gr, gc):
+            break
+        base = g[r, c]
+        for dr, dc, step in _NEIGHBORS:
+            nr, nc = r + dr, c + dc
+            if not (0 <= nr < rows and 0 <= nc < cols) or closed[nr, nc]:
+                continue
+            cell_cost = cost[nr, nc]
+            if cell_cost >= lethal_threshold:
+                continue
+            new_g = base + step * (1.0 + COST_WEIGHT * 0.5 * (cell_cost + cost[r, c]))
+            if new_g < g[nr, nc]:
+                g[nr, nc] = new_g
+                parent[nr, nc] = (r, c)
+                heapq.heappush(heap, (new_g + h(nr, nc), nr, nc))
+
+    if not closed[gr, gc]:
+        raise PlanningError(f"no path from {start} to {goal}")
+
+    path = [(gr, gc)]
+    r, c = gr, gc
+    while (r, c) != (sr, sc):
+        r, c = int(parent[r, c, 0]), int(parent[r, c, 1])
+        path.append((r, c))
+    path.reverse()
+    return path
+
+
+def astar(
+    cost: np.ndarray,
+    start: tuple[int, int],
+    goal: tuple[int, int],
+    lethal_threshold: int = 253,
+) -> list[tuple[int, int]]:
+    """A* shortest path over a cost grid; returns [(row, col), ...].
+
+    Raises :class:`PlanningError` when no path exists.
+    """
+    return _search(np.asarray(cost), start, goal, lethal_threshold, heuristic_weight=1.0)
+
+
+def dijkstra(
+    cost: np.ndarray,
+    start: tuple[int, int],
+    goal: tuple[int, int],
+    lethal_threshold: int = 253,
+) -> list[tuple[int, int]]:
+    """Dijkstra shortest path (A* with a zero heuristic)."""
+    return _search(np.asarray(cost), start, goal, lethal_threshold, heuristic_weight=0.0)
+
+
+def path_length(path: list[tuple[int, int]], resolution: float = 1.0) -> float:
+    """Euclidean length of a cell path in world units."""
+    if len(path) < 2:
+        return 0.0
+    arr = np.asarray(path, dtype=float)
+    return float(np.sum(np.hypot(*(np.diff(arr, axis=0).T))) * resolution)

@@ -1,0 +1,28 @@
+"""Virtual clock shared by every component of a simulation."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic virtual clock measured in seconds.
+
+    Only the :class:`~repro.sim.kernel.Simulator` advances the clock;
+    every other component reads it through :meth:`now`. Attempting to
+    move time backwards raises, which catches scheduling bugs early.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Advance the clock to absolute time ``t`` (kernel use only)."""
+        if t < self._now:
+            raise ValueError(f"clock moving backwards: {t} < {self._now}")
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(t={self._now:.6f})"

@@ -1,0 +1,96 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is an immutable record of *when* a callback fires.
+Ties on time are broken by a monotonically increasing sequence number so
+the execution order of same-timestamp events is the order in which they
+were scheduled — this is what makes whole-mission replays deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time (seconds) at which the event fires.
+    seq:
+        Scheduling sequence number; the tie-breaker for equal times.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Human-readable tag used in traces and error messages.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Supports lazy cancellation: :meth:`cancel` marks an event dead and
+    :meth:`pop` silently skips dead events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._dead: set[int] = set()
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        if time != time:  # NaN guard
+            raise ValueError("event time is NaN")
+        ev = Event(time=float(time), seq=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Mark ``event`` as cancelled; it will be skipped on pop."""
+        if event.seq not in self._dead:
+            self._dead.add(event.seq)
+            self._live -= 1
+
+    def peek_time(self) -> float | None:
+        """Return the fire time of the next live event, or ``None``."""
+        self._prune()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        self._prune()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def _prune(self) -> None:
+        while self._heap and self._heap[0].seq in self._dead:
+            dead = heapq.heappop(self._heap)
+            self._dead.discard(dead.seq)

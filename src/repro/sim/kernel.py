@@ -1,0 +1,163 @@
+"""The discrete-event simulator.
+
+The :class:`Simulator` owns the clock and the event queue. Components
+schedule callbacks at absolute or relative virtual times; :meth:`run`
+drains the queue in time order. A :class:`Process` is a light wrapper
+for periodic activities (sensor polling, control loops, monitors).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimClock(start_time)
+        self.queue = EventQueue()
+        self._stopped = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now()
+
+    def schedule_at(self, t: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``t``.
+
+        ``t`` earlier than now raises ``ValueError``.
+        """
+        if t < self.now():
+            raise ValueError(f"cannot schedule in the past: {t} < {self.now()}")
+        return self.queue.push(t, callback, label)
+
+    def schedule_after(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.queue.push(self.now() + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(event)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        start_delay: float | None = None,
+    ) -> "Process":
+        """Run ``callback`` every ``period`` seconds until stopped.
+
+        Returns a :class:`Process` handle whose :meth:`Process.stop`
+        cancels future firings.
+        """
+        return Process(self, period, callback, label=label, start_delay=start_delay)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event. Returns ``False`` if queue empty."""
+        if not self.queue:
+            return False
+        ev = self.queue.pop()
+        self.clock.advance_to(ev.time)
+        ev.callback()
+        self._processed += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain events until the queue empties, ``until`` is reached,
+        or ``max_events`` have fired. Returns the final virtual time.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if the last event fired earlier, so integrals
+        over [0, until] are well-defined.
+        """
+        self._stopped = False
+        fired = 0
+        while self.queue and not self._stopped:
+            t_next = self.queue.peek_time()
+            if until is not None and t_next is not None and t_next > until:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            self.step()
+            fired += 1
+        if until is not None and until > self.now():
+            self.clock.advance_to(until)
+        return self.now()
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return after the current event."""
+        self._stopped = True
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired since construction."""
+        return self._processed
+
+
+class Process:
+    """A periodic activity driven by the simulator.
+
+    The first firing happens ``start_delay`` seconds after creation
+    (default: one full period). The callback may call :meth:`stop` to
+    end the process from within.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        start_delay: float | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.period = float(period)
+        self.callback = callback
+        self.label = label or getattr(callback, "__name__", "process")
+        self._event: Event | None = None
+        self._running = True
+        self.fire_count = 0
+        delay = self.period if start_delay is None else start_delay
+        self._event = sim.schedule_after(delay, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self.callback()
+        if self._running:
+            self._event = self.sim.schedule_after(self.period, self._fire, label=self.label)
+
+    def set_period(self, period: float) -> None:
+        """Change the firing period; takes effect from the next firing."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = float(period)
+
+    def stop(self) -> None:
+        """Stop the process; pending firing is cancelled."""
+        self._running = False
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the process will fire again."""
+        return self._running

@@ -1,0 +1,31 @@
+"""Seeded random-number helpers.
+
+All stochastic components (particle filters, network jitter, sensor
+noise) draw from generators created here so a mission is a pure
+function of its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int | None = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded with ``seed``.
+
+    ``None`` produces OS entropy — only use in exploratory scripts,
+    never in tests or benchmarks.
+    """
+    return np.random.default_rng(seed)
+
+
+def split_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used to give each parallel worker (e.g. a scanMatch thread) its own
+    stream so results do not depend on thread interleaving.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

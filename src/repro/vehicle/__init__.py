@@ -1,0 +1,28 @@
+"""The LGV physical model: kinematics, motors, battery, component power.
+
+This package is the stand-in for the physical Turtlebot3: a
+differential-drive body whose motor power follows Eq. 1d
+(``P_m = P_l + m (a + g mu) v``), component power draws from Table I,
+and a finite battery.
+"""
+
+from repro.vehicle.battery import Battery
+from repro.vehicle.kinematics import DiffDriveState, step_diff_drive
+from repro.vehicle.motor import MotorModel
+from repro.vehicle.power import ComponentPower, PowerBudget, TURTLEBOT3_POWER, TURTLEBOT2_POWER, PIONEER3DX_POWER
+from repro.vehicle.robot import LGV, RobotProfile, TURTLEBOT3_PROFILE
+
+__all__ = [
+    "Battery",
+    "DiffDriveState",
+    "step_diff_drive",
+    "MotorModel",
+    "ComponentPower",
+    "PowerBudget",
+    "TURTLEBOT3_POWER",
+    "TURTLEBOT2_POWER",
+    "PIONEER3DX_POWER",
+    "LGV",
+    "RobotProfile",
+    "TURTLEBOT3_PROFILE",
+]

@@ -1,0 +1,51 @@
+"""Battery model.
+
+A Turtlebot3 ships an 11.1 V / 1800 mAh LiPo — 19.98 Wh, the number
+the paper's introduction leads with. The battery integrates drawn
+power and reports remaining charge; a drained battery is a mission
+failure condition.
+"""
+
+from __future__ import annotations
+
+
+class Battery:
+    """Finite energy store measured in watt-hours."""
+
+    def __init__(self, capacity_wh: float = 19.98) -> None:
+        if capacity_wh <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_wh}")
+        self.capacity_wh = float(capacity_wh)
+        self.drawn_j = 0.0
+
+    @property
+    def capacity_j(self) -> float:
+        """Capacity in joules (1 Wh = 3600 J)."""
+        return self.capacity_wh * 3600.0
+
+    def draw(self, energy_j: float) -> None:
+        """Consume ``energy_j`` joules; clips at empty."""
+        if energy_j < 0:
+            raise ValueError(f"energy must be non-negative, got {energy_j}")
+        self.drawn_j = min(self.drawn_j + energy_j, self.capacity_j)
+
+    @property
+    def remaining_j(self) -> float:
+        """Joules left."""
+        return self.capacity_j - self.drawn_j
+
+    @property
+    def state_of_charge(self) -> float:
+        """Fraction of capacity remaining, in [0, 1]."""
+        return self.remaining_j / self.capacity_j
+
+    @property
+    def depleted(self) -> bool:
+        """True once the battery is fully drained."""
+        return self.remaining_j <= 0.0
+
+    def runtime_at_power(self, power_w: float) -> float:
+        """Seconds of operation left at a constant ``power_w`` draw."""
+        if power_w <= 0:
+            return float("inf")
+        return self.remaining_j / power_w

@@ -1,0 +1,78 @@
+"""Differential-drive kinematics.
+
+The LGV is modeled as a unicycle: commanded (v, w) are tracked subject
+to acceleration limits, then the pose is integrated with the exact
+constant-twist (arc) solution, which stays accurate at the coarse
+control periods the simulation runs at.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.world.geometry import Pose2D, normalize_angle
+
+
+@dataclass(frozen=True)
+class DiffDriveState:
+    """Instantaneous kinematic state of the vehicle."""
+
+    pose: Pose2D
+    v: float = 0.0  # linear velocity, m/s
+    w: float = 0.0  # angular velocity, rad/s
+
+    def speed(self) -> float:
+        """Magnitude of linear velocity."""
+        return abs(self.v)
+
+
+def _approach(current: float, target: float, max_delta: float) -> float:
+    """Move ``current`` toward ``target`` by at most ``max_delta``."""
+    if target > current:
+        return min(target, current + max_delta)
+    return max(target, current - max_delta)
+
+
+def step_diff_drive(
+    state: DiffDriveState,
+    cmd_v: float,
+    cmd_w: float,
+    dt: float,
+    max_accel: float = 2.5,
+    max_ang_accel: float = 3.2,
+    v_limit: float | None = None,
+    w_limit: float | None = None,
+) -> DiffDriveState:
+    """Advance the vehicle ``dt`` seconds toward command (cmd_v, cmd_w).
+
+    Velocities slew toward the command under acceleration limits, then
+    the pose integrates along the resulting circular arc. Limits match
+    a Turtlebot3 Burger (0.22 m/s, 2.84 rad/s) unless overridden.
+    """
+    if dt < 0:
+        raise ValueError(f"dt must be non-negative, got {dt}")
+    if v_limit is not None:
+        cmd_v = max(-v_limit, min(v_limit, cmd_v))
+    if w_limit is not None:
+        cmd_w = max(-w_limit, min(w_limit, cmd_w))
+
+    v = _approach(state.v, cmd_v, max_accel * dt)
+    w = _approach(state.w, cmd_w, max_ang_accel * dt)
+
+    x, y, th = state.pose.x, state.pose.y, state.pose.theta
+    if abs(w) < 1e-9:
+        x += v * math.cos(th) * dt
+        y += v * math.sin(th) * dt
+    else:
+        # exact arc integration
+        r = v / w
+        x += r * (math.sin(th + w * dt) - math.sin(th))
+        y += -r * (math.cos(th + w * dt) - math.cos(th))
+    th = normalize_angle(th + w * dt)
+    return DiffDriveState(pose=Pose2D(x, y, th), v=v, w=w)
+
+
+def stop(state: DiffDriveState) -> DiffDriveState:
+    """The same pose with all motion zeroed (emergency stop)."""
+    return replace(state, v=0.0, w=0.0)

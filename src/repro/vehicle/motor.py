@@ -1,0 +1,54 @@
+"""Motor power model (Eq. 1d).
+
+``P_m(t) = P_l + m (a + g mu) v`` — a transforming loss plus traction
+power proportional to velocity, following Mei et al.'s mobile-robot
+energy study (the paper's citation for this equation). The friction
+term dominates, so motor *energy* is roughly proportional to distance
+— which is why Fig. 13's motor bars barely move across deployments:
+a faster mission draws more motor power for proportionally less time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Standard gravity (m/s^2).
+G = 9.81
+
+
+@dataclass(frozen=True)
+class MotorModel:
+    """Motor/traction power model for a wheeled LGV.
+
+    Attributes
+    ----------
+    mass_kg:
+        Vehicle mass ``m``.
+    friction_mu:
+        Ground rolling-friction coefficient ``mu``.
+    transform_loss_w:
+        Fixed conversion loss ``P_l`` drawn whenever motors are powered.
+    max_power_w:
+        Rated ceiling (Table I); power is clipped here.
+    """
+
+    mass_kg: float = 1.0
+    friction_mu: float = 0.6
+    transform_loss_w: float = 0.5
+    max_power_w: float = 6.7
+
+    def power(self, v: float, a: float = 0.0) -> float:
+        """Instantaneous motor power (W) at speed ``v`` and accel ``a``.
+
+        Deceleration does not regenerate: the traction term is floored
+        at zero (cheap DC drives dissipate, not recover).
+        """
+        traction = self.mass_kg * (a + G * self.friction_mu) * abs(v)
+        p = self.transform_loss_w + max(traction, 0.0)
+        return min(p, self.max_power_w)
+
+    def energy(self, v: float, a: float, dt: float) -> float:
+        """Energy (J) over an interval of length ``dt`` at constant (v, a)."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        return self.power(v, a) * dt

@@ -1,0 +1,89 @@
+"""Per-component power draws (paper Table I).
+
+Table I gives the *maximum* power of each hardware component for three
+commodity LGVs. The sensor and microcontroller draw near-constant
+power whenever on; motors and the embedded computer vary with load and
+are modeled elsewhere (:mod:`repro.vehicle.motor`,
+:mod:`repro.compute.energy`). These records also regenerate Table I
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Maximum power (W) of each LGV hardware component."""
+
+    robot: str
+    sensor_w: float
+    motor_w: float
+    microcontroller_w: float
+    embedded_computer_w: float
+
+    def total_w(self) -> float:
+        """Sum of the four component maxima."""
+        return self.sensor_w + self.motor_w + self.microcontroller_w + self.embedded_computer_w
+
+    def fractions(self) -> dict[str, float]:
+        """Each component's share of the total (Table I's percentages)."""
+        tot = self.total_w()
+        return {
+            "sensor": self.sensor_w / tot,
+            "motor": self.motor_w / tot,
+            "microcontroller": self.microcontroller_w / tot,
+            "embedded_computer": self.embedded_computer_w / tot,
+        }
+
+
+#: Table I, row "Turtlebot2": 2.5 / 9 / 4.6 / 15 W.
+TURTLEBOT2_POWER = ComponentPower("Turtlebot2", 2.5, 9.0, 4.6, 15.0)
+
+#: Table I, row "Turtlebot3": 1 / 6.7 / 1 / 6.5 W.
+TURTLEBOT3_POWER = ComponentPower("Turtlebot3", 1.0, 6.7, 1.0, 6.5)
+
+#: Table I, row "Pioneer 3DX": 0.82 / 10.6 / 4.6 / 15 W.
+PIONEER3DX_POWER = ComponentPower("Pioneer 3DX", 0.82, 10.6, 4.6, 15.0)
+
+
+@dataclass
+class PowerBudget:
+    """Running energy tally per component (J), the Fig. 13 bar stack."""
+
+    sensor_j: float = 0.0
+    motor_j: float = 0.0
+    microcontroller_j: float = 0.0
+    embedded_computer_j: float = 0.0
+    wireless_j: float = 0.0
+
+    def total_j(self) -> float:
+        """Total robot-side energy (Eq. 1a's E_total)."""
+        return (
+            self.sensor_j
+            + self.motor_j
+            + self.microcontroller_j
+            + self.embedded_computer_j
+            + self.wireless_j
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Component -> joules, for tables and plots."""
+        return {
+            "sensor": self.sensor_j,
+            "motor": self.motor_j,
+            "microcontroller": self.microcontroller_j,
+            "embedded_computer": self.embedded_computer_j,
+            "wireless": self.wireless_j,
+        }
+
+    def add(self, other: "PowerBudget") -> "PowerBudget":
+        """Elementwise sum (combining mission segments)."""
+        return PowerBudget(
+            self.sensor_j + other.sensor_j,
+            self.motor_j + other.motor_j,
+            self.microcontroller_j + other.microcontroller_j,
+            self.embedded_computer_j + other.embedded_computer_j,
+            self.wireless_j + other.wireless_j,
+        )

@@ -1,0 +1,173 @@
+"""The assembled LGV: body, sensors, power accounting, world coupling.
+
+The :class:`LGV` owns the ground-truth kinematic state, the lidar, the
+battery, and the per-component energy tally. A simulation process
+steps it at a fixed physics rate; nodes never touch ground truth
+directly — they see it only through sensor messages, like the real
+robot's software stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.vehicle.battery import Battery
+from repro.vehicle.kinematics import DiffDriveState, step_diff_drive
+from repro.vehicle.motor import MotorModel
+from repro.vehicle.power import ComponentPower, PowerBudget, TURTLEBOT3_POWER
+from repro.world.geometry import Pose2D
+from repro.world.grid import OccupancyGrid
+from repro.world.lidar import LDS01_SPEC, Lidar, LidarScan, LidarSpec
+
+
+@dataclass(frozen=True)
+class RobotProfile:
+    """Static description of an LGV model."""
+
+    name: str = "turtlebot3"
+    mass_kg: float = 1.0
+    radius_m: float = 0.105  # footprint radius (Burger is ~0.21 m wide)
+    max_v: float = 0.22  # hardware velocity limit (m/s)
+    max_w: float = 2.84  # hardware angular limit (rad/s)
+    max_accel: float = 2.5
+    max_ang_accel: float = 3.2
+    battery_wh: float = 19.98
+    component_power: ComponentPower = TURTLEBOT3_POWER
+    lidar: LidarSpec = LDS01_SPEC
+    motor: MotorModel = field(
+        default_factory=lambda: MotorModel(mass_kg=1.0, max_power_w=TURTLEBOT3_POWER.motor_w)
+    )
+
+
+#: The paper's evaluation vehicle.
+TURTLEBOT3_PROFILE = RobotProfile()
+
+
+class LGV:
+    """A simulated low-cost ground vehicle in a world.
+
+    Parameters
+    ----------
+    world:
+        Ground-truth occupancy map the robot drives in.
+    profile:
+        Hardware description; defaults to a Turtlebot3 Burger.
+    start:
+        Initial pose.
+    rng:
+        Sensor/actuation noise source (``None`` = noiseless).
+    """
+
+    def __init__(
+        self,
+        world: OccupancyGrid,
+        profile: RobotProfile = TURTLEBOT3_PROFILE,
+        start: Pose2D = Pose2D(),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.world = world
+        self.profile = profile
+        self.state = DiffDriveState(pose=start)
+        self.battery = Battery(profile.battery_wh)
+        self.energy = PowerBudget()
+        self.lidar = Lidar(world, profile.lidar, rng)
+        self.rng = rng
+        self.cmd_v = 0.0
+        self.cmd_w = 0.0
+        self.velocity_cap = profile.max_v  # controller-set max velocity (Eq. 2c)
+        self.odom_pose = Pose2D()  # dead-reckoned pose (odometry frame)
+        self.distance_traveled = 0.0
+        self.collisions = 0
+        self._last_v = 0.0
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def set_command(self, v: float, w: float) -> None:
+        """Set the velocity command the physics will track."""
+        cap = min(self.velocity_cap, self.profile.max_v)
+        self.cmd_v = max(-cap, min(cap, v))
+        self.cmd_w = max(-self.profile.max_w, min(self.profile.max_w, w))
+
+    def set_velocity_cap(self, v_max: float) -> None:
+        """Controller interface: cap the maximum linear velocity."""
+        self.velocity_cap = max(0.0, min(v_max, self.profile.max_v))
+
+    # ------------------------------------------------------------------
+    # Physics step
+    # ------------------------------------------------------------------
+    def step(self, dt: float) -> None:
+        """Advance physics by ``dt``: motion, collision, energy draw.
+
+        Energy for sensor + microcontroller (constant draw) and motor
+        (Eq. 1d) is integrated here; embedded-computer and wireless
+        energy are integrated by the compute/network layers.
+        """
+        prev = self.state
+        new = step_diff_drive(
+            prev,
+            self.cmd_v,
+            self.cmd_w,
+            dt,
+            max_accel=self.profile.max_accel,
+            max_ang_accel=self.profile.max_ang_accel,
+            v_limit=min(self.velocity_cap, self.profile.max_v),
+            w_limit=self.profile.max_w,
+        )
+        # Collision check: footprint center must stay in free space.
+        if self.world.is_free_world(new.pose.x, new.pose.y):
+            moved = prev.pose.distance_to(new.pose)
+            self.distance_traveled += moved
+            # dead-reckoned odometry (optionally noisy)
+            delta = new.pose.relative_to(prev.pose)
+            if self.rng is not None and moved > 0:
+                delta = Pose2D(
+                    delta.x * (1.0 + self.rng.normal(0, 0.01)),
+                    delta.y + self.rng.normal(0, 0.0005),
+                    delta.theta * (1.0 + self.rng.normal(0, 0.01)),
+                )
+            self.odom_pose = self.odom_pose.compose(delta)
+            self.state = new
+        else:
+            self.collisions += 1
+            self.state = DiffDriveState(pose=prev.pose, v=0.0, w=0.0)
+
+        # Energy integration over this interval
+        accel = (self.state.v - self._last_v) / dt if dt > 0 else 0.0
+        self._last_v = self.state.v
+        p = self.profile.component_power
+        motor_j = self.profile.motor.energy(self.state.v, accel, dt)
+        sensor_j = p.sensor_w * dt
+        micro_j = p.microcontroller_w * dt
+        self.energy.motor_j += motor_j
+        self.energy.sensor_j += sensor_j
+        self.energy.microcontroller_j += micro_j
+        self.battery.draw(motor_j + sensor_j + micro_j)
+
+    # ------------------------------------------------------------------
+    # Sensors
+    # ------------------------------------------------------------------
+    def scan(self, stamp: float = 0.0) -> LidarScan:
+        """Take a lidar sweep from the current ground-truth pose."""
+        return self.lidar.scan(self.state.pose, stamp)
+
+    @property
+    def pose(self) -> Pose2D:
+        """Ground-truth pose (simulation bookkeeping only)."""
+        return self.state.pose
+
+    def account_compute_energy(self, joules: float) -> None:
+        """Charge embedded-computer energy to the budget and battery."""
+        if joules < 0:
+            raise ValueError("joules must be non-negative")
+        self.energy.embedded_computer_j += joules
+        self.battery.draw(joules)
+
+    def account_wireless_energy(self, joules: float) -> None:
+        """Charge wireless-controller transmission energy (Eq. 1b)."""
+        if joules < 0:
+            raise ValueError("joules must be non-negative")
+        self.energy.wireless_j += joules
+        self.battery.draw(joules)

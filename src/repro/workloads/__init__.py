@@ -1,0 +1,43 @@
+"""Runnable LGV workloads: the Fig. 2 pipeline as middleware nodes.
+
+:mod:`repro.workloads.pipeline` holds one Node class per functional
+node; :mod:`repro.workloads.navigation` and
+:mod:`repro.workloads.exploration` assemble the with-map and
+without-map variants; :mod:`repro.workloads.missions` runs complete
+missions and collects the metrics the evaluation figures plot.
+"""
+
+from repro.workloads.pipeline import (
+    ActuatorDriver,
+    CostmapGenNode,
+    ExplorationNode,
+    LocalizationNode,
+    PathPlanningNode,
+    PathTrackingNode,
+    SafetyNode,
+    SensorDriver,
+    SlamNode,
+    VelocityMuxNode,
+)
+from repro.workloads.navigation import NavigationWorkload, build_navigation
+from repro.workloads.exploration import ExplorationWorkload, build_exploration
+from repro.workloads.missions import MissionResult, MissionRunner
+
+__all__ = [
+    "SensorDriver",
+    "LocalizationNode",
+    "SlamNode",
+    "CostmapGenNode",
+    "PathPlanningNode",
+    "ExplorationNode",
+    "PathTrackingNode",
+    "VelocityMuxNode",
+    "SafetyNode",
+    "ActuatorDriver",
+    "NavigationWorkload",
+    "build_navigation",
+    "ExplorationWorkload",
+    "build_exploration",
+    "MissionRunner",
+    "MissionResult",
+]

@@ -1,0 +1,148 @@
+"""The without-map Exploration workload (paper §II-B, second category).
+
+SensorDriver -> GMapping SLAM -> CostmapGen (tracking the SLAM map) ->
+Exploration (frontier goals) -> PathPlanning -> PathTracking ->
+VelocityMux -> Actuator. The mission ends when no admissible frontier
+remains (the area is mapped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compute.host import Host
+from repro.compute.platform import CLOUD_SERVER, EDGE_GATEWAY, TURTLEBOT3_PI
+from repro.control.dwa import DwaConfig, DwaPlanner
+from repro.control.safety import SafetyController
+from repro.middleware.graph import Graph
+from repro.network.fabric import NetworkFabric
+from repro.network.link import WirelessLink
+from repro.network.signal import WapSite
+from repro.perception.costmap import LayeredCostmap
+from repro.perception.gmapping import GMapping, GMappingConfig
+from repro.planning.frontier import FrontierExplorer
+from repro.planning.global_planner import GlobalPlanner
+from repro.sim.kernel import Simulator
+from repro.vehicle.robot import LGV, RobotProfile
+from repro.workloads.navigation import EVAL_PROFILE
+from repro.workloads.pipeline import (
+    ActuatorDriver,
+    CostmapGenNode,
+    ExplorationNode,
+    PathPlanningNode,
+    PathTrackingNode,
+    SafetyNode,
+    SensorDriver,
+    SlamNode,
+    VelocityMuxNode,
+)
+from repro.world.geometry import Pose2D
+from repro.world.grid import OccupancyGrid
+
+
+@dataclass
+class ExplorationWorkload:
+    """Everything an exploration mission needs, wired and ready."""
+
+    sim: Simulator
+    graph: Graph
+    lgv: LGV
+    lgv_host: Host
+    gateway_host: Host
+    cloud_host: Host
+    fabric: NetworkFabric
+    wap: WapSite
+    nodes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cycle_names(self) -> tuple[str, ...]:
+        """Node names participating in the Table II breakdown."""
+        return (
+            "slam",
+            "costmap_gen",
+            "path_planning",
+            "exploration",
+            "path_tracking",
+            "velocity_mux",
+        )
+
+
+def build_exploration(
+    world: OccupancyGrid,
+    start: Pose2D,
+    wap_xy: tuple[float, float] = (1.0, 1.0),
+    seed: int = 0,
+    nominal_particles: int = 30,
+    actual_particles: int = 12,
+    nominal_samples: int = 2000,
+    actual_samples: int = 300,
+    scan_rate_hz: float = 5.0,
+    wired_latency: dict[str, float] | None = None,
+    profile: RobotProfile = EVAL_PROFILE,
+) -> ExplorationWorkload:
+    """Build a ready-to-run exploration workload.
+
+    ``nominal_particles`` / ``nominal_samples`` drive the charged
+    cycle costs (Figs. 9-10 knobs); the ``actual_*`` values size the
+    real algorithms for simulation wall-clock.
+    """
+    sim = Simulator()
+    lgv = LGV(world, profile=profile, start=start, rng=np.random.default_rng(seed + 1))
+
+    lgv_host = Host("lgv", TURTLEBOT3_PI, on_robot=True)
+    gateway_host = Host("gateway", EDGE_GATEWAY)
+    cloud_host = Host("cloud", CLOUD_SERVER)
+
+    wap = WapSite(*wap_xy)
+    link = WirelessLink(wap, lambda: (lgv.pose.x, lgv.pose.y), np.random.default_rng(seed + 2))
+    fabric = NetworkFabric(
+        link,
+        wired_latency=wired_latency or {"gateway": 0.0015, "cloud": 0.025},
+        energy_sink=lgv.account_wireless_energy,
+    )
+    graph = Graph(sim, fabric)
+
+    slam_cfg = GMappingConfig(
+        n_particles=actual_particles,
+        rows=world.rows,
+        cols=world.cols,
+        resolution=world.resolution,
+        origin=world.origin,
+    )
+    slam = GMapping(slam_cfg, rng=np.random.default_rng(seed + 3), initial_pose=start)
+    costmap = LayeredCostmap(
+        rows=world.rows,
+        cols=world.cols,
+        resolution=world.resolution,
+        origin=world.origin,
+    )
+    planner = GlobalPlanner(costmap, algorithm="astar")
+    dwa = DwaPlanner(costmap, DwaConfig(n_samples=actual_samples))
+
+    nodes = {
+        "sensor_driver": SensorDriver(lgv, scan_rate_hz),
+        "slam": SlamNode(slam, nominal_particles=nominal_particles),
+        "costmap_gen": CostmapGenNode(costmap, track_slam_map=True),
+        "exploration": ExplorationNode(FrontierExplorer()),
+        "path_planning": PathPlanningNode(planner),
+        "path_tracking": PathTrackingNode(dwa, nominal_samples=nominal_samples),
+        "safety": SafetyNode(SafetyController()),
+        "velocity_mux": VelocityMuxNode(),
+        "actuator": ActuatorDriver(lgv),
+    }
+    for node in nodes.values():
+        graph.add_node(node, lgv_host)
+
+    return ExplorationWorkload(
+        sim=sim,
+        graph=graph,
+        lgv=lgv,
+        lgv_host=lgv_host,
+        gateway_host=gateway_host,
+        cloud_host=cloud_host,
+        fabric=fabric,
+        wap=wap,
+        nodes=nodes,
+    )

@@ -1,0 +1,44 @@
+"""2-D world substrate: occupancy grids, geometry, ray casting, lidar.
+
+This package replaces the physical lab floor the paper drives its
+Turtlebot3 across. Maps are occupancy grids (free / occupied / unknown),
+the lidar is a vectorized ray caster with LDS-01-like parameters.
+"""
+
+from repro.world.geometry import (
+    Pose2D,
+    angle_diff,
+    normalize_angle,
+    rot2d,
+    transform_points,
+)
+from repro.world.grid import CellState, OccupancyGrid
+from repro.world.lidar import Lidar, LidarScan, LDS01_SPEC, LidarSpec
+from repro.world.maps import (
+    box_world,
+    corridor_world,
+    intel_lab_world,
+    obstacle_course_world,
+    open_world,
+)
+from repro.world.raycast import cast_rays
+
+__all__ = [
+    "Pose2D",
+    "angle_diff",
+    "normalize_angle",
+    "rot2d",
+    "transform_points",
+    "CellState",
+    "OccupancyGrid",
+    "Lidar",
+    "LidarScan",
+    "LidarSpec",
+    "LDS01_SPEC",
+    "cast_rays",
+    "box_world",
+    "corridor_world",
+    "intel_lab_world",
+    "obstacle_course_world",
+    "open_world",
+]

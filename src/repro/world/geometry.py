@@ -1,0 +1,107 @@
+"""Planar geometry: poses, angles, rigid transforms.
+
+All angles are radians in (-pi, pi]; all distances are meters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Wrap ``theta`` into (-pi, pi]."""
+    wrapped = math.fmod(theta + math.pi, TWO_PI)
+    if wrapped <= 0.0:
+        wrapped += TWO_PI
+    return wrapped - math.pi
+
+
+def angle_diff(a: float, b: float) -> float:
+    """Smallest signed angle taking ``b`` to ``a`` (i.e. a - b wrapped)."""
+    return normalize_angle(a - b)
+
+
+def normalize_angles(theta: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`normalize_angle` for numpy arrays."""
+    return np.mod(np.asarray(theta) + np.pi, TWO_PI) - np.pi
+
+
+@dataclass(frozen=True)
+class Pose2D:
+    """A planar pose: position (x, y) in meters and heading theta.
+
+    Immutable; arithmetic helpers return new poses.
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+    theta: float = 0.0
+
+    def position(self) -> np.ndarray:
+        """The (x, y) position as a float64 array."""
+        return np.array([self.x, self.y], dtype=np.float64)
+
+    def compose(self, other: "Pose2D") -> "Pose2D":
+        """Rigid-body composition ``self ∘ other``.
+
+        ``other`` is interpreted in this pose's frame; the result is in
+        the parent frame. This is the standard SE(2) group operation.
+        """
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        return Pose2D(
+            x=self.x + c * other.x - s * other.y,
+            y=self.y + s * other.x + c * other.y,
+            theta=normalize_angle(self.theta + other.theta),
+        )
+
+    def inverse(self) -> "Pose2D":
+        """The SE(2) inverse such that ``p.compose(p.inverse())`` is identity."""
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        return Pose2D(
+            x=-(c * self.x + s * self.y),
+            y=-(-s * self.x + c * self.y),
+            theta=normalize_angle(-self.theta),
+        )
+
+    def relative_to(self, frame: "Pose2D") -> "Pose2D":
+        """Express this pose in the coordinate frame of ``frame``."""
+        return frame.inverse().compose(self)
+
+    def distance_to(self, other: "Pose2D") -> float:
+        """Euclidean distance between the two positions."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def heading_to(self, other: "Pose2D") -> float:
+        """Bearing (world frame) from this pose's position to ``other``'s."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def as_array(self) -> np.ndarray:
+        """The pose as ``[x, y, theta]``."""
+        return np.array([self.x, self.y, self.theta], dtype=np.float64)
+
+    @staticmethod
+    def from_array(arr: np.ndarray) -> "Pose2D":
+        """Build a pose from ``[x, y, theta]``."""
+        return Pose2D(float(arr[0]), float(arr[1]), normalize_angle(float(arr[2])))
+
+
+def rot2d(theta: float) -> np.ndarray:
+    """2x2 rotation matrix for ``theta``."""
+    c, s = math.cos(theta), math.sin(theta)
+    return np.array([[c, -s], [s, c]], dtype=np.float64)
+
+
+def transform_points(points: np.ndarray, pose: Pose2D) -> np.ndarray:
+    """Transform an (N, 2) array of points from ``pose``'s frame to world.
+
+    Vectorized: one matmul plus a broadcast add.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (N, 2) points, got {pts.shape}")
+    return pts @ rot2d(pose.theta).T + np.array([pose.x, pose.y])

@@ -1,0 +1,112 @@
+"""Laser distance sensor model (Turtlebot3's LDS-01).
+
+The sensor sweeps 360 beams over a full circle, casts each beam against
+the ground-truth map, and adds Gaussian range noise. Scan size in bytes
+follows the paper's observation that a laser scan is the largest
+message (~2.94 KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.geometry import Pose2D
+from repro.world.grid import OccupancyGrid
+from repro.world.raycast import cast_rays
+
+
+@dataclass(frozen=True)
+class LidarSpec:
+    """Static parameters of a scanning lidar."""
+
+    n_beams: int = 360
+    angle_min: float = -np.pi
+    angle_max: float = np.pi
+    range_min: float = 0.12
+    range_max: float = 3.5
+    noise_std: float = 0.01
+    scan_rate_hz: float = 5.0
+
+    def angles(self) -> np.ndarray:
+        """Beam angles in the sensor frame, endpoint excluded."""
+        return np.linspace(self.angle_min, self.angle_max, self.n_beams, endpoint=False)
+
+
+#: The LDS-01 laser on a Turtlebot3: 360 beams, 3.5 m range, 5 Hz.
+LDS01_SPEC = LidarSpec()
+
+
+@dataclass
+class LidarScan:
+    """One lidar sweep.
+
+    ``ranges[i]`` is the measured distance along ``angles[i]`` (sensor
+    frame). Beams that saw nothing are clipped at ``range_max``.
+    """
+
+    ranges: np.ndarray
+    angles: np.ndarray
+    range_min: float
+    range_max: float
+    pose: Pose2D  # ground-truth sensor pose at scan time (sim bookkeeping)
+    stamp: float = 0.0
+
+    def valid_mask(self) -> np.ndarray:
+        """Beams with a real return (inside [range_min, range_max))."""
+        return (self.ranges >= self.range_min) & (self.ranges < self.range_max - 1e-9)
+
+    def points(self) -> np.ndarray:
+        """Valid returns as (N, 2) points in the *sensor* frame."""
+        m = self.valid_mask()
+        r = self.ranges[m]
+        a = self.angles[m]
+        return np.stack([r * np.cos(a), r * np.sin(a)], axis=1)
+
+    def size_bytes(self) -> int:
+        """Serialized size: header + one float32 per beam (~2.9 KB for 360)."""
+        return 56 + 8 * len(self.ranges)
+
+
+class Lidar:
+    """A lidar attached to a ground-truth map.
+
+    Parameters
+    ----------
+    grid:
+        Ground-truth occupancy map the beams are cast against.
+    spec:
+        Sensor parameters; defaults to the LDS-01.
+    rng:
+        Noise source; ``None`` disables range noise entirely.
+    """
+
+    def __init__(
+        self,
+        grid: OccupancyGrid,
+        spec: LidarSpec = LDS01_SPEC,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.grid = grid
+        self.spec = spec
+        self.rng = rng
+        self._angles = spec.angles()
+
+    def scan(self, pose: Pose2D, stamp: float = 0.0) -> LidarScan:
+        """Take one sweep from ``pose``; returns a noisy :class:`LidarScan`."""
+        world_angles = self._angles + pose.theta
+        ranges = cast_rays(self.grid, pose.x, pose.y, world_angles, self.spec.range_max)
+        if self.rng is not None and self.spec.noise_std > 0:
+            hit = ranges < self.spec.range_max - 1e-9
+            noise = self.rng.normal(0.0, self.spec.noise_std, size=ranges.shape)
+            ranges = np.where(hit, ranges + noise, ranges)
+            np.clip(ranges, self.spec.range_min, self.spec.range_max, out=ranges)
+        return LidarScan(
+            ranges=ranges,
+            angles=self._angles,
+            range_min=self.spec.range_min,
+            range_max=self.spec.range_max,
+            pose=pose,
+            stamp=stamp,
+        )

@@ -1,0 +1,106 @@
+"""Built-in world maps.
+
+These replace the paper's physical lab and the Intel Research Lab
+dataset map. All are ground-truth maps (no UNKNOWN cells) used by the
+lidar model; SLAM builds its own map from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import seeded_rng
+from repro.world.geometry import Pose2D
+from repro.world.grid import CellState, OccupancyGrid
+
+
+def open_world(size_m: float = 10.0, resolution: float = 0.05) -> OccupancyGrid:
+    """A bounded empty square arena with solid walls."""
+    cells = int(round(size_m / resolution))
+    grid = OccupancyGrid.empty(cells, cells, resolution)
+    _add_walls(grid)
+    return grid
+
+
+def box_world(size_m: float = 10.0, resolution: float = 0.05) -> OccupancyGrid:
+    """Arena with a square box obstacle in the middle."""
+    grid = open_world(size_m, resolution)
+    lo, hi = 0.4 * size_m, 0.6 * size_m
+    grid.fill_rect_world(lo, lo, hi, hi, CellState.OCCUPIED)
+    return grid
+
+
+def corridor_world(
+    length_m: float = 12.0, width_m: float = 2.0, resolution: float = 0.05
+) -> OccupancyGrid:
+    """A straight corridor; good for 'heading straight' velocity phases."""
+    rows = int(round(width_m / resolution))
+    cols = int(round(length_m / resolution))
+    grid = OccupancyGrid.empty(rows, cols, resolution)
+    _add_walls(grid)
+    return grid
+
+
+def obstacle_course_world(
+    size_m: float = 12.0,
+    n_obstacles: int = 14,
+    obstacle_m: float = 0.6,
+    seed: int = 7,
+    resolution: float = 0.05,
+) -> OccupancyGrid:
+    """Arena scattered with square obstacles (Fig. 14's 'complex world').
+
+    Obstacles avoid a margin near the border so start/goal corners stay
+    reachable.
+    """
+    grid = open_world(size_m, resolution)
+    rng = seeded_rng(seed)
+    margin = 1.5
+    for _ in range(n_obstacles):
+        cx = float(rng.uniform(margin, size_m - margin))
+        cy = float(rng.uniform(margin, size_m - margin))
+        half = obstacle_m / 2.0
+        grid.fill_rect_world(cx - half, cy - half, cx + half, cy + half, CellState.OCCUPIED)
+    return grid
+
+
+def intel_lab_world(resolution: float = 0.05) -> OccupancyGrid:
+    """A synthetic stand-in for the Intel Research Lab map.
+
+    The real dataset is a ring of offices around a central core. We
+    reproduce that topology: outer walls, a central block, and office
+    partitions with door gaps, giving SLAM the loopy, clutter-heavy
+    scan workload the paper profiles.
+    """
+    art = """
+############################################
+#..........................................#
+#..####..####...####..####...####..####....#
+#..#..........................................
+#..#..####..####...####..####...####..###..#
+#...........................................#
+#....########################........####..#
+#....#......................#...............#
+#....#......................#...######......#
+#....#......................#...#....#......#
+#....#......................#...#....#......#
+#....########.....##########....######......#
+#............................................
+#..####...####..####...####..####...####....#
+#............................................
+#..####...####..####...####..####...####....#
+#............................................
+############################################
+"""
+    # Scale the ascii art up 4x so rooms are multiple robot-widths wide.
+    base = OccupancyGrid.from_ascii(art, resolution=resolution)
+    scale = 8
+    data = np.repeat(np.repeat(base.data, scale, axis=0), scale, axis=1)
+    return OccupancyGrid(data, resolution, Pose2D())
+
+
+def _add_walls(grid: OccupancyGrid) -> None:
+    grid.data[0, :] = int(CellState.OCCUPIED)
+    grid.data[-1, :] = int(CellState.OCCUPIED)
+    grid.data[:, 0] = int(CellState.OCCUPIED)
+    grid.data[:, -1] = int(CellState.OCCUPIED)

@@ -1,0 +1,158 @@
+"""Failure injection: the system under hostile conditions.
+
+Missions where the network dies mid-flight, the server slows to a
+crawl, packets vanish wholesale, or nodes migrate under load — the
+adaptive framework must keep the vehicle alive (degrade, never
+crash), which is the paper's robustness thesis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameworkConfig, OffloadingFramework
+from repro.experiments._missions import DEPLOYMENTS, NAV_CYCLES, launch_navigation
+from repro.middleware import Graph, InstantTransport, Node, TwistMsg
+from repro.compute import EDGE_GATEWAY, Host, TURTLEBOT3_PI
+from repro.sim import Simulator
+from repro.workloads import MissionRunner, build_navigation
+from repro.world import Pose2D, box_world
+
+
+class TestNetworkDeathMidMission:
+    def run_with_outage(self, adaptive: bool, outage_at: float = 8.0):
+        """Offloaded mission whose wireless link dies permanently."""
+        w, fw, runner = launch_navigation(
+            DEPLOYMENTS[2],
+            timeout_s=300.0,
+        )
+        fw.config = FrameworkConfig(
+            initial_placement="strategy",
+            server_threads=8,
+            enable_realtime_adjustment=adaptive,
+        )
+        orig_quality = type(w.fabric.link).state
+
+        def kill_link():
+            # collapse the radio: every packet from now on is lost
+            w.fabric.uplink.block_quality = 2.0  # everything "blocked"
+            w.fabric.downlink.block_quality = 2.0
+
+        w.sim.schedule_at(outage_at, kill_link)
+        return runner.run(), fw, w
+
+    def test_adaptive_framework_survives_outage(self):
+        res, fw, w = self.run_with_outage(adaptive=True)
+        # Algorithm 2 pulled the nodes home and the mission completed
+        assert res.success, res.reason
+        assert all(v == "lgv" for v in res.final_placement.values())
+        assert any("retreat" in e.action for e in fw.events)
+
+    def test_static_policy_strands_the_robot(self):
+        res, fw, w = self.run_with_outage(adaptive=False)
+        # commands stop arriving; the watchdog parks the vehicle
+        assert not res.success
+        assert res.reason == "timeout"
+        # and it covered less ground than the adaptive run
+        adaptive_res, _, _ = self.run_with_outage(adaptive=True)
+        assert res.distance_m < adaptive_res.distance_m + 1e-9
+
+
+class TestWatchdog:
+    def test_vehicle_stops_when_commands_dry_up(self):
+        """If the command stream dies, the actuator watchdog must stop
+        the robot within its timeout — never sail blind."""
+        w = build_navigation(
+            box_world(10.0), Pose2D(2, 2, 0.0), Pose2D(8, 8, 0), seed=0, wap_xy=(2.0, 2.0)
+        )
+        # drive manually, then silence all commands
+        w.graph.inject("cmd_vel", TwistMsg(v=0.22, w=0.0), w.lgv_host)
+        runner = MissionRunner(w, framework=None, timeout_s=10.0)
+
+        def silence():
+            # unsubscribe the actuator's command source by killing the mux
+            w.nodes["velocity_mux"]._paused = True
+
+        w.sim.schedule_at(1.0, silence)
+        runner.run()
+        assert abs(w.lgv.state.v) < 1e-6  # parked
+
+
+class TestMigrationUnderLoad:
+    def test_migrations_do_not_lose_the_pipeline(self):
+        """Thrash T3 between hosts every 2 s mid-mission: messages may
+        drop during pauses, but the pipeline must keep producing and
+        the mission must still finish."""
+        w, fw, runner = launch_navigation(DEPLOYMENTS[2], timeout_s=300.0)
+
+        flip = {"to_server": False}
+
+        def thrash():
+            from repro.core.migration import MigrationPlan
+
+            nodes = ("costmap_gen", "path_tracking")
+            if flip["to_server"]:
+                fw.switcher.apply(MigrationPlan(nodes, (), 0.1))
+            else:
+                fw.switcher.apply(MigrationPlan((), nodes, 0.1))
+            flip["to_server"] = not flip["to_server"]
+
+        w.sim.every(2.0, thrash)
+        res = runner.run()
+        assert res.success, res.reason
+        assert len(fw.switcher.records) > 10  # it really thrashed
+
+    def test_migration_preserves_costmap_state(self):
+        """After moving CostmapGen away and back, its map is intact."""
+        w, fw, runner = launch_navigation(DEPLOYMENTS[0], timeout_s=20.0)
+        fw.start()
+        w.sim.run(until=5.0)
+        cg = w.nodes["costmap_gen"]
+        lethal_before = int(cg.costmap.lethal_mask().sum())
+        w.graph.move_node("costmap_gen", w.gateway_host)
+        w.sim.run(until=6.0)
+        w.graph.move_node("costmap_gen", w.lgv_host)
+        w.sim.run(until=10.0)
+        assert int(cg.costmap.lethal_mask().sum()) >= lethal_before // 2
+
+
+class TestDegenerateInputs:
+    def test_mission_with_unreachable_goal_times_out_gracefully(self):
+        w = build_navigation(
+            box_world(10.0), Pose2D(2, 2, 0.0), Pose2D(5.0, 5.0, 0),  # box center
+            seed=0, wap_xy=(2.0, 2.0),
+        )
+        runner = MissionRunner(w, framework=None, timeout_s=15.0)
+        res = runner.run()
+        assert not res.success
+        assert res.reason == "timeout"
+        assert w.lgv.collisions == 0  # it never drove into the box
+
+    def test_zero_length_mission(self):
+        # goal == start: immediate success
+        w = build_navigation(
+            box_world(10.0), Pose2D(2, 2, 0.0), Pose2D(2.05, 2.0, 0), seed=0
+        )
+        res = MissionRunner(w, framework=None, timeout_s=30.0).run()
+        assert res.success
+
+    def test_paused_node_drops_but_recovers(self):
+        sim = Simulator()
+        graph = Graph(sim, InstantTransport())
+        host = Host("h", TURTLEBOT3_PI, on_robot=True)
+
+        class Counter(Node):
+            def on_start(self):
+                self.n = 0
+                self.subscribe("x", self.cb)
+
+            def cb(self, msg):
+                self.charge(1e3)
+                self.n += 1
+
+        c = graph.add_node(Counter("c"), host)
+        sim.every(0.1, lambda: graph.inject("x", TwistMsg(), host))
+        sim.schedule_at(1.0, lambda: setattr(c, "_paused", True))
+        sim.schedule_at(2.0, lambda: (setattr(c, "_paused", False), c._try_process()))
+        sim.run(until=3.0)
+        # ~10 before the pause, ~10 after, ~10 lost during
+        assert 15 <= c.n <= 25

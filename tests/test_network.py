@@ -1,0 +1,243 @@
+"""Tests for the wireless network: signal, link, UDP pathology, monitors, fabric."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compute import CLOUD_SERVER, EDGE_GATEWAY, Host, TURTLEBOT3_PI
+from repro.network import (
+    BandwidthMonitor,
+    NetworkFabric,
+    PathLossModel,
+    ReliableChannel,
+    RttMonitor,
+    SignalDirectionEstimator,
+    UdpChannel,
+    WapSite,
+    WirelessLink,
+    link_quality,
+)
+from repro.network.signal import phy_rate
+from repro.sim.rng import seeded_rng
+
+
+def make_link(xy=(1.0, 0.0), seed=0, **kw):
+    pos = list(xy)
+    wap = WapSite(0.0, 0.0)
+    link = WirelessLink(wap, lambda: (pos[0], pos[1]), seeded_rng(seed), **kw)
+    return link, pos
+
+
+class TestSignal:
+    def test_rssi_monotone_decreasing(self):
+        m = PathLossModel()
+        assert m.rssi(1.0) > m.rssi(5.0) > m.rssi(20.0)
+
+    def test_rssi_floor_distance(self):
+        m = PathLossModel()
+        assert m.rssi(0.0) == m.rssi(0.05)  # clamped below 0.1 m
+
+    def test_shadow_fading_reproducible(self):
+        m = PathLossModel(shadow_sigma_db=3.0)
+        a = m.rssi(5.0, seeded_rng(1))
+        b = m.rssi(5.0, seeded_rng(1))
+        assert a == b
+
+    def test_link_quality_saturates(self):
+        assert link_quality(-40.0) > 0.99
+        assert link_quality(-100.0) < 0.01
+        assert 0.4 < link_quality(-76.0) < 0.6  # the knee
+
+    def test_phy_rate_ladder(self):
+        assert phy_rate(-50) == 54e6
+        assert phy_rate(-70) == 12e6
+        assert phy_rate(-90) == 0.0
+
+    def test_wap_distance(self):
+        w = WapSite(1.0, 1.0)
+        assert w.distance_to(4.0, 5.0) == pytest.approx(5.0)
+
+
+class TestWirelessLink:
+    def test_airtime_scales_with_bytes(self):
+        link, _ = make_link((1.0, 0.0))
+        st = link.state()
+        assert link.airtime(2000, st) == pytest.approx(2 * link.airtime(1000, st))
+
+    def test_airtime_infinite_out_of_range(self):
+        link, _ = make_link((500.0, 0.0))
+        assert link.airtime(100) == float("inf")
+
+    def test_tx_energy_eq1b(self):
+        # E = P_trans * D / R_uplink
+        link, _ = make_link((1.0, 0.0))
+        st = link.state()
+        expected = link.tx_power_w * 8 * 1000 / st.rate_bps
+        assert link.tx_energy(1000, st) == pytest.approx(expected)
+
+    def test_quality_degrades_with_distance(self):
+        link, pos = make_link((1.0, 0.0))
+        near = link.state().quality
+        pos[0] = 20.0
+        far = link.state().quality
+        assert near > 0.9 > far
+
+
+class TestUdpChannel:
+    def test_good_signal_delivers(self):
+        link, _ = make_link((1.0, 0.0))
+        udp = UdpChannel(link)
+        results = [udp.send(1000, i * 0.2) for i in range(50)]
+        assert all(r is not None for r in results)
+        assert udp.stats.loss_rate == 0.0
+
+    def test_weak_signal_blocks_then_discards(self):
+        # Fig. 7: first K packets buffered, the rest discarded
+        link, pos = make_link((14.0, 0.0))  # inside the blocked zone
+        udp = UdpChannel(link, kernel_buffer_packets=2)
+        results = [udp.send(500, i * 0.2) for i in range(5)]
+        assert all(r is None for r in results)
+        assert udp.held_packets == 2
+        assert udp.stats.dropped_buffer == 3
+
+    def test_buffer_flushes_on_recovery(self):
+        link, pos = make_link((14.0, 0.0), seed=3)
+        udp = UdpChannel(link, kernel_buffer_packets=2)
+        udp.send(500, 0.0)
+        udp.send(500, 0.2)
+        assert udp.held_packets == 2
+        pos[0] = 1.0  # robot returns near the WAP
+        udp.send(500, 5.0)
+        assert udp.held_packets == 0
+        # flushed packets recorded with their (large) held latency
+        assert any(lat > 4.0 for lat in udp.stats.latencies)
+
+    def test_latency_misleading_bandwidth_honest(self):
+        """The paper's §VI argument: in the weak zone, delivered-packet
+        latency still looks fine while delivery *rate* collapses."""
+        link, pos = make_link((12.5, 0.0), seed=7)  # lossy but not blocked
+        udp = UdpChannel(link)
+        n = 200
+        delivered = [udp.send(500, i * 0.2) for i in range(n)]
+        got = [d for d in delivered if d is not None]
+        assert udp.stats.loss_rate > 0.2  # heavy loss...
+        assert float(np.median(got)) < 0.05  # ...but survivors are fast
+
+    def test_stats_bytes(self):
+        link, _ = make_link((1.0, 0.0))
+        udp = UdpChannel(link)
+        udp.send(1234, 0.0)
+        assert udp.stats.bytes_sent == 1234
+        assert udp.stats.bytes_delivered == 1234
+
+
+class TestReliableChannel:
+    def test_always_returns_latency(self):
+        link, _ = make_link((14.0, 0.0), seed=2)
+        ch = ReliableChannel(link)
+        lat = ch.send(500, 0.0)
+        assert lat > 0 and math.isfinite(lat)
+
+    def test_retries_add_latency(self):
+        good_link, _ = make_link((1.0, 0.0), seed=1)
+        bad_link, _ = make_link((16.0, 0.0), seed=1)
+        good = ReliableChannel(good_link).send(500, 0.0)
+        bad = ReliableChannel(bad_link).send(500, 0.0)
+        assert bad > good
+
+    def test_invalid_retries(self):
+        link, _ = make_link()
+        with pytest.raises(ValueError):
+            ReliableChannel(link, max_retries=-1)
+
+
+class TestMonitors:
+    def test_bandwidth_window(self):
+        m = BandwidthMonitor(window_s=1.0)
+        for t in [0.1, 0.3, 0.5, 0.7, 0.9]:
+            m.record(t)
+        assert m.rate(1.0) == 5.0
+        assert m.rate(1.9) == 1.0  # only t=0.9 remains
+
+    def test_bandwidth_rejects_time_travel(self):
+        m = BandwidthMonitor()
+        m.record(1.0)
+        with pytest.raises(ValueError):
+            m.record(0.5)
+
+    def test_rtt_percentiles(self):
+        m = RttMonitor()
+        for v in [0.01] * 99 + [1.0]:
+            m.record(v)
+        assert m.percentile(50) == pytest.approx(0.01)
+        assert m.worst() == 1.0
+        assert m.mean() > 0.01
+
+    def test_rtt_empty_is_nan(self):
+        m = RttMonitor()
+        assert math.isnan(m.mean()) and math.isnan(m.percentile(99))
+
+    def test_direction_away_negative(self):
+        d = SignalDirectionEstimator((0.0, 0.0))
+        for i, x in enumerate([1.0, 2.0, 3.0, 4.0]):
+            d.record(float(i), x, 0.0)
+        assert d.direction() < 0
+        assert not d.approaching()
+
+    def test_direction_toward_positive(self):
+        d = SignalDirectionEstimator((0.0, 0.0))
+        for i, x in enumerate([4.0, 3.0, 2.0, 1.0]):
+            d.record(float(i), x, 0.0)
+        assert d.direction() > 0
+        assert d.approaching()
+
+    def test_direction_unknown_is_zero(self):
+        d = SignalDirectionEstimator((0.0, 0.0))
+        assert d.direction() == 0.0
+
+
+class TestNetworkFabric:
+    def setup_method(self):
+        self.energy = []
+        self.link, self.pos = make_link((1.0, 0.0))
+        self.fabric = NetworkFabric(
+            self.link,
+            wired_latency={"gw": 0.0005, "cloud": 0.02},
+            energy_sink=self.energy.append,
+        )
+        self.lgv = Host("lgv", TURTLEBOT3_PI, on_robot=True)
+        self.gw = Host("gw", EDGE_GATEWAY)
+        self.cloud = Host("cloud", CLOUD_SERVER)
+
+    def test_same_host_free(self):
+        assert self.fabric.send(self.lgv, self.lgv, 100, 0.0) == 0.0
+
+    def test_uplink_charges_energy(self):
+        lat = self.fabric.send(self.lgv, self.gw, 1000, 0.0)
+        assert lat is not None and lat > 0
+        assert len(self.energy) == 1 and self.energy[0] > 0
+
+    def test_downlink_free_for_robot(self):
+        lat = self.fabric.send(self.gw, self.lgv, 1000, 0.0)
+        assert lat is not None
+        assert self.energy == []
+
+    def test_cloud_farther_than_gateway(self):
+        lat_gw = self.fabric.send(self.lgv, self.gw, 100, 0.0)
+        lat_cloud = self.fabric.send(self.lgv, self.cloud, 100, 0.0)
+        assert lat_cloud > lat_gw
+
+    def test_server_to_server_wired_only(self):
+        lat = self.fabric.send(self.gw, self.cloud, 100, 0.0)
+        assert lat == pytest.approx(0.0205)
+
+    def test_rtt_positive(self):
+        assert self.fabric.rtt(self.lgv, self.cloud, 100, 0.0) > 0.04
+
+    def test_no_energy_when_driver_blocked(self):
+        self.pos[0] = 14.0  # blocked zone
+        before = len(self.energy)
+        res = self.fabric.send(self.lgv, self.gw, 1000, 0.0)
+        assert res is None
+        assert len(self.energy) == before  # no airtime, no energy

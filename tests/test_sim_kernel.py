@@ -1,0 +1,245 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Event, EventQueue, SimClock, Simulator
+from repro.sim.rng import seeded_rng, split_rng
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance_to(3.5)
+        assert c.now() == 3.5
+
+    def test_backwards_raises(self):
+        c = SimClock(2.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+    def test_advance_to_same_time_ok(self):
+        c = SimClock(2.0)
+        c.advance_to(2.0)
+        assert c.now() == 2.0
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while q:
+            q.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_for_ties(self):
+        q = EventQueue()
+        fired = []
+        for tag in "abc":
+            q.push(1.0, lambda t=tag: fired.append(t))
+        while q:
+            q.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancel_skips_event(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(ev)
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+
+    def test_cancel_twice_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.0, lambda: None)
+        assert q.peek_time() == 4.0
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(float("nan"), lambda: None)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == sorted(popped)
+
+
+class TestSimulator:
+    def test_run_advances_clock(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        end = sim.run()
+        assert end == 5.0
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_after(1.0, lambda: seen.append(sim.now()))
+        sim.run()
+        assert seen == [1.0]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now() == 5.0  # clock lands exactly on `until`
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_events_cascade(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now())
+            sim.schedule_after(2.0, lambda: seen.append(sim.now()))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert seen == [1.0, 3.0]
+
+    def test_stop_inside_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_deterministic_replay(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            sim.every(0.3, lambda: order.append(("a", round(sim.now(), 9))))
+            sim.every(0.5, lambda: order.append(("b", round(sim.now(), 9))))
+            sim.run(until=10.0)
+            return order
+
+        assert run_once() == run_once()
+
+
+class TestProcess:
+    def test_periodic_firing(self):
+        sim = Simulator()
+        count = []
+        sim.every(1.0, lambda: count.append(sim.now()))
+        sim.run(until=5.5)
+        assert count == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        count = []
+        sim.every(1.0, lambda: count.append(sim.now()), start_delay=0.0)
+        sim.run(until=2.5)
+        assert count == [0.0, 1.0, 2.0]
+
+    def test_stop_cancels_future(self):
+        sim = Simulator()
+        count = []
+        proc = sim.every(1.0, lambda: count.append(1))
+        sim.schedule_at(2.5, proc.stop)
+        sim.run(until=10.0)
+        assert len(count) == 2
+        assert not proc.running
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        holder = {}
+
+        def cb():
+            if holder["p"].fire_count >= 3:
+                holder["p"].stop()
+
+        holder["p"] = sim.every(1.0, cb)
+        sim.run(until=100.0)
+        assert holder["p"].fire_count == 3
+
+    def test_set_period(self):
+        sim = Simulator()
+        times = []
+        proc = sim.every(1.0, lambda: times.append(sim.now()))
+        sim.schedule_at(2.1, lambda: proc.set_period(0.5))
+        sim.run(until=4.0)
+        assert times == [1.0, 2.0, 3.0, 3.5, 4.0]
+
+    def test_invalid_period_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda: None)
+        proc = sim.every(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            proc.set_period(-1.0)
+
+
+class TestRng:
+    def test_seeded_rng_reproducible(self):
+        a = seeded_rng(42).random(5)
+        b = seeded_rng(42).random(5)
+        assert (a == b).all()
+
+    def test_split_rng_streams_differ(self):
+        parent = seeded_rng(0)
+        children = split_rng(parent, 4)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4
+
+    def test_split_rng_deterministic(self):
+        a = [g.random() for g in split_rng(seeded_rng(1), 3)]
+        b = [g.random() for g in split_rng(seeded_rng(1), 3)]
+        assert a == b
+
+    def test_split_negative_raises(self):
+        with pytest.raises(ValueError):
+            split_rng(seeded_rng(0), -1)

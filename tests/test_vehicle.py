@@ -1,0 +1,218 @@
+"""Tests for kinematics, motor power, battery, component power and the LGV."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vehicle import (
+    Battery,
+    DiffDriveState,
+    LGV,
+    MotorModel,
+    PIONEER3DX_POWER,
+    TURTLEBOT2_POWER,
+    TURTLEBOT3_POWER,
+    TURTLEBOT3_PROFILE,
+    step_diff_drive,
+)
+from repro.world import CellState, Pose2D, box_world, open_world
+
+
+class TestKinematics:
+    def test_straight_line(self):
+        s = DiffDriveState(Pose2D(0, 0, 0), v=0.2)
+        s2 = step_diff_drive(s, 0.2, 0.0, dt=1.0)
+        assert s2.pose.x == pytest.approx(0.2)
+        assert s2.pose.y == pytest.approx(0.0)
+
+    def test_pure_rotation(self):
+        s = DiffDriveState(Pose2D(1, 1, 0), w=1.0)
+        s2 = step_diff_drive(s, 0.0, 1.0, dt=0.5)
+        assert s2.pose.x == pytest.approx(1.0)
+        assert s2.pose.theta == pytest.approx(0.5)
+
+    def test_arc_motion_radius(self):
+        # v=1, w=1 -> circle of radius 1 around (0, 1)
+        s = DiffDriveState(Pose2D(0, 0, 0), v=1.0, w=1.0)
+        s2 = step_diff_drive(s, 1.0, 1.0, dt=math.pi)  # half circle
+        assert s2.pose.x == pytest.approx(0.0, abs=1e-9)
+        assert s2.pose.y == pytest.approx(2.0, abs=1e-9)
+
+    def test_acceleration_limit(self):
+        s = DiffDriveState(Pose2D(), v=0.0)
+        s2 = step_diff_drive(s, 10.0, 0.0, dt=0.1, max_accel=1.0, v_limit=None)
+        assert s2.v == pytest.approx(0.1)  # 1 m/s^2 * 0.1 s
+
+    def test_velocity_limit_clamps_command(self):
+        s = DiffDriveState(Pose2D(), v=0.0)
+        s2 = step_diff_drive(s, 10.0, 0.0, dt=10.0, v_limit=0.22)
+        assert s2.v == pytest.approx(0.22)
+
+    def test_deceleration_symmetric(self):
+        s = DiffDriveState(Pose2D(), v=0.2)
+        s2 = step_diff_drive(s, 0.0, 0.0, dt=0.04, max_accel=2.5)
+        assert s2.v == pytest.approx(0.1)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            step_diff_drive(DiffDriveState(Pose2D()), 0, 0, dt=-0.1)
+
+    @given(st.floats(-0.22, 0.22), st.floats(-2.8, 2.8), st.floats(0.001, 0.5))
+    def test_pose_continuous(self, v, w, dt):
+        s = DiffDriveState(Pose2D(), v=v, w=w)
+        s2 = step_diff_drive(s, v, w, dt=dt)
+        moved = s.pose.distance_to(s2.pose)
+        assert moved <= abs(v) * dt + 1e-9
+
+
+class TestMotorModel:
+    def test_idle_power_is_transform_loss(self):
+        m = MotorModel(transform_loss_w=1.2)
+        assert m.power(0.0) == pytest.approx(1.2)
+
+    def test_power_increases_with_speed(self):
+        m = MotorModel()
+        assert m.power(0.2) > m.power(0.1) > m.power(0.0)
+
+    def test_acceleration_term(self):
+        m = MotorModel(mass_kg=1.0)
+        assert m.power(0.2, a=1.0) > m.power(0.2, a=0.0)
+
+    def test_deceleration_does_not_regenerate(self):
+        m = MotorModel()
+        assert m.power(0.2, a=-100.0) >= m.transform_loss_w
+
+    def test_clipped_at_rated_max(self):
+        m = MotorModel(max_power_w=6.7)
+        assert m.power(50.0, a=50.0) == 6.7
+
+    def test_energy_is_power_times_dt(self):
+        m = MotorModel()
+        assert m.energy(0.2, 0.0, 2.0) == pytest.approx(2.0 * m.power(0.2))
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            MotorModel().energy(0.1, 0, -1.0)
+
+
+class TestBattery:
+    def test_capacity_conversion(self):
+        b = Battery(19.98)
+        assert b.capacity_j == pytest.approx(19.98 * 3600)
+
+    def test_draw_and_soc(self):
+        b = Battery(1.0)  # 3600 J
+        b.draw(1800)
+        assert b.state_of_charge == pytest.approx(0.5)
+
+    def test_depletes_and_clips(self):
+        b = Battery(0.001)
+        b.draw(1e9)
+        assert b.depleted
+        assert b.remaining_j == 0.0
+
+    def test_runtime_estimate(self):
+        b = Battery(1.0)
+        assert b.runtime_at_power(1.0) == pytest.approx(3600)
+        assert b.runtime_at_power(0.0) == float("inf")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Battery(0.0)
+        with pytest.raises(ValueError):
+            Battery(1.0).draw(-1)
+
+
+class TestComponentPower:
+    def test_table1_turtlebot3(self):
+        p = TURTLEBOT3_POWER
+        assert (p.sensor_w, p.motor_w, p.microcontroller_w, p.embedded_computer_w) == (
+            1.0, 6.7, 1.0, 6.5,
+        )
+
+    def test_table1_fractions_match_paper(self):
+        # Turtlebot3 row: 6.5% / 44% / 6.5% / 43%
+        f = TURTLEBOT3_POWER.fractions()
+        assert f["motor"] == pytest.approx(0.44, abs=0.01)
+        assert f["embedded_computer"] == pytest.approx(0.43, abs=0.01)
+
+    def test_motor_plus_computer_dominate_all_robots(self):
+        # the observation Table I supports
+        for p in (TURTLEBOT2_POWER, TURTLEBOT3_POWER, PIONEER3DX_POWER):
+            f = p.fractions()
+            assert f["motor"] + f["embedded_computer"] > 0.7
+
+
+class TestLGV:
+    def test_moves_toward_command(self):
+        bot = LGV(open_world(10.0), start=Pose2D(2, 2, 0))
+        bot.set_command(0.2, 0.0)
+        for _ in range(100):
+            bot.step(0.05)
+        assert bot.pose.x > 2.8
+
+    def test_collision_stops_robot(self):
+        world = box_world(10.0)  # box at [4,6]^2
+        bot = LGV(world, start=Pose2D(3.5, 5.0, 0.0))
+        bot.set_command(0.22, 0.0)
+        for _ in range(400):
+            bot.step(0.05)
+        assert bot.collisions > 0
+        assert bot.pose.x < 4.1  # stopped at the box face
+
+    def test_velocity_cap_enforced(self):
+        bot = LGV(open_world(10.0), start=Pose2D(2, 2, 0))
+        bot.set_velocity_cap(0.05)
+        bot.set_command(0.22, 0.0)
+        for _ in range(50):
+            bot.step(0.1)
+        assert abs(bot.state.v) <= 0.05 + 1e-9
+
+    def test_energy_components_accumulate(self):
+        bot = LGV(open_world(10.0), start=Pose2D(5, 5, 0))
+        bot.set_command(0.2, 0.0)
+        for _ in range(20):
+            bot.step(0.1)
+        e = bot.energy
+        assert e.sensor_j == pytest.approx(TURTLEBOT3_POWER.sensor_w * 2.0)
+        assert e.microcontroller_j == pytest.approx(1.0 * 2.0)
+        assert e.motor_j > 0
+        assert bot.battery.drawn_j == pytest.approx(e.total_j())
+
+    def test_moving_draws_more_motor_energy_than_idle(self):
+        w = open_world(10.0)
+        moving = LGV(w, start=Pose2D(2, 5, 0))
+        moving.set_command(0.22, 0.0)
+        idle = LGV(w, start=Pose2D(2, 5, 0))
+        for _ in range(100):
+            moving.step(0.05)
+            idle.step(0.05)
+        assert moving.energy.motor_j > idle.energy.motor_j
+
+    def test_compute_and_wireless_accounting(self):
+        bot = LGV(open_world(6.0), start=Pose2D(3, 3, 0))
+        bot.account_compute_energy(5.0)
+        bot.account_wireless_energy(2.0)
+        assert bot.energy.embedded_computer_j == 5.0
+        assert bot.energy.wireless_j == 2.0
+        with pytest.raises(ValueError):
+            bot.account_compute_energy(-1)
+
+    def test_odometry_tracks_truth_noiselessly(self):
+        bot = LGV(open_world(10.0), start=Pose2D(2, 2, 0))
+        bot.set_command(0.2, 0.3)
+        for _ in range(100):
+            bot.step(0.05)
+        # odom frame starts at identity; compose with start pose
+        est = Pose2D(2, 2, 0).compose(bot.odom_pose)
+        assert est.distance_to(bot.pose) < 1e-6
+
+    def test_scan_sees_world(self):
+        bot = LGV(box_world(10.0), start=Pose2D(3.0, 5.0, 0.0))
+        scan = bot.scan()
+        idx = int(len(scan.ranges) // 2)  # angle ~0 beam is at index 180
+        import numpy as np
+
+        i0 = int(np.argmin(np.abs(scan.angles)))
+        assert scan.ranges[i0] < 1.3  # box face ~1 m ahead
