@@ -7,7 +7,6 @@ charts are the reproduction artifact. Run with::
     pytest benchmarks/ --benchmark-only -s
 """
 
-import pytest
 
 
 def render(result) -> None:

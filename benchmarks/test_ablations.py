@@ -1,6 +1,5 @@
 """Ablation benchmarks for the design choices DESIGN.md calls out."""
 
-from benchmarks.conftest import render
 from repro.experiments import (
     run_ablation_migration_granularity,
     run_ablation_netqual_metric,

@@ -4,7 +4,6 @@ Not paper figures — these quantify the future-work directions the
 paper sketches, against the same models the main benchmarks use.
 """
 
-import numpy as np
 
 from repro.analysis.tables import Table
 from repro.compute.platform import CLOUD_SERVER, EDGE_GATEWAY

@@ -7,13 +7,11 @@ gateway — not the manycore cloud — wins VDP offloading (paper:
 costmap + parallel-DWA + mux pipeline.
 """
 
-import pytest
 
 from benchmarks.conftest import render
 from repro.experiments import run_fig10
 from repro.experiments.fig10_vdp import (
     SAMPLE_COUNTS,
-    THREAD_COUNTS,
     measure_real_vdp,
 )
 

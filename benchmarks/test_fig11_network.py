@@ -10,7 +10,6 @@ Asserts the section's three claims:
 * on the way back it migrates to the cloud again.
 """
 
-import math
 
 import numpy as np
 

@@ -12,7 +12,6 @@ The paper's headline numbers: offloading reduces total energy by
 * exploration gains more energy-wise, navigation more time-wise.
 """
 
-import pytest
 
 from benchmarks.conftest import render
 from repro.experiments import run_fig13

@@ -10,13 +10,11 @@ Two parts:
   real particle batches.
 """
 
-import os
 
-import pytest
 
 from benchmarks.conftest import render
 from repro.experiments import run_fig9
-from repro.experiments.fig9_ecn import PARTICLE_COUNTS, THREAD_COUNTS, measure_real_slam
+from repro.experiments.fig9_ecn import PARTICLE_COUNTS, measure_real_slam
 
 
 def test_fig9_modeled_sweep(benchmark):

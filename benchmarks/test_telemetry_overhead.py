@@ -1,0 +1,110 @@
+"""Telemetry overhead benchmark: instrumentation must be free when off.
+
+Every telemetry hook in the hot paths sits behind one attribute test
+(``tel = self.telemetry; if tel is not None: ...``), so a run without a
+``Telemetry`` object attached should cost the same as the pre-telemetry
+code. This benchmark proves it on the Fig. 9 sweep:
+
+* ``fig9_baseline`` — a guard-free replica of the sweep loop exactly as
+  it was before telemetry existed (same model calls, same table
+  rendering, no ``telemetry`` branch);
+* ``fig9_off`` — the real ``run_fig9()`` with ``telemetry=None``;
+* ``fig9_traced`` — ``run_fig9(telemetry=Telemetry())`` for context
+  (model spans + a short instrumented exploration mission).
+
+The headline number, committed as ``BENCH_telemetry_overhead.json`` at
+the repo root, is the off-vs-baseline median ratio; the test asserts it
+stays under 3 %.
+
+Run:  pytest benchmarks/test_telemetry_overhead.py -s
+"""
+
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.tables import Table, format_seconds
+from repro.compute.executor import ExecutionModel, SLAM_PROFILE
+from repro.experiments.fig9_ecn import (
+    PARTICLE_COUNTS,
+    PLATFORMS,
+    THREAD_COUNTS,
+    Fig9Result,
+    run_fig9,
+)
+from repro.perception.gmapping import gmapping_scan_cycles
+
+#: Allowed telemetry-off wall-clock regression on the fig9 sweep.
+MAX_OVERHEAD = 0.03
+
+REPS = 300
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry_overhead.json"
+
+
+def _baseline_sweep() -> Fig9Result:
+    """The Fig. 9 sweep exactly as it was before the telemetry PR."""
+    res = Fig9Result()
+    for plat in PLATFORMS:
+        model = ExecutionModel(plat)
+        t = Table(
+            title=f"Fig. 9 ({plat.name}) — SLAM per-scan processing time",
+            columns=["threads \\ particles"] + [str(p) for p in PARTICLE_COUNTS],
+        )
+        for n in THREAD_COUNTS:
+            row: list = [str(n)]
+            for particles in PARTICLE_COUNTS:
+                cycles = gmapping_scan_cycles(particles)
+                secs = model.exec_time(cycles, n, SLAM_PROFILE)
+                res.times[(plat.name, n, particles)] = secs
+                row.append(format_seconds(secs))
+            t.rows.append(row)
+        res.tables.append(t)
+    return res
+
+
+def _median_seconds(fn, reps: int = REPS) -> float:
+    fn()  # warm caches / imports outside the timed region
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def test_telemetry_off_overhead_under_3pct():
+    baseline_s = _median_seconds(_baseline_sweep)
+    off_s = _median_seconds(run_fig9)
+
+    from repro.telemetry import Telemetry
+
+    t0 = time.perf_counter()
+    run_fig9(telemetry=Telemetry())
+    traced_s = time.perf_counter() - t0
+
+    overhead = off_s / baseline_s - 1.0
+    result = {
+        "benchmark": "telemetry_overhead_fig9",
+        "reps": REPS,
+        "fig9_baseline_median_s": baseline_s,
+        "fig9_off_median_s": off_s,
+        "fig9_traced_once_s": traced_s,
+        "off_vs_baseline_overhead": overhead,
+        "max_allowed_overhead": MAX_OVERHEAD,
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nfig9 baseline {baseline_s * 1e3:.3f}ms  "
+          f"off {off_s * 1e3:.3f}ms  overhead {overhead * 100:+.2f}%  "
+          f"traced(once) {traced_s:.2f}s  -> {RESULT_PATH.name}")
+
+    # medians over many reps; a negative number just means noise favored
+    # the instrumented build this run
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry-off fig9 sweep is {overhead:.1%} slower than the "
+        f"guard-free baseline (budget {MAX_OVERHEAD:.0%})"
+    )

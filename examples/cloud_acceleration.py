@@ -19,7 +19,6 @@ import time
 import numpy as np
 
 from repro.control import DwaConfig, DwaPlanner, ParallelScorer
-from repro.control.dwa import TrajectoryScorer
 from repro.datasets import intel_lab_sequence
 from repro.experiments import run_fig9, run_fig10
 from repro.perception import GMapping, GMappingConfig, LayeredCostmap, ParallelGMapping

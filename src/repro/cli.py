@@ -5,8 +5,14 @@ Usage::
     python -m repro list
     python -m repro table1 table2 fig11
     python -m repro all            # everything (the Fig. 13 matrix is slow)
+    python -m repro fig12 --trace-out fig12_trace.json
+    python -m repro trace fig9 --trace-out /tmp/t.json --metrics-out /tmp/m.json
 
-Each artifact prints its regenerated table or ASCII chart.
+Each artifact prints its regenerated table or ASCII chart. With
+``--trace-out`` / ``--metrics-out`` (or the ``trace`` command, which
+implies both) the run is instrumented: a Chrome trace-event JSON —
+loadable at https://ui.perfetto.dev — and a metrics snapshot are
+written, and a telemetry report is printed after the artifact output.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.experiments import (
     run_ablation_migration_granularity,
@@ -31,9 +37,11 @@ from repro.experiments import (
     run_table2,
     run_table3,
 )
+from repro.telemetry import Telemetry, render_report
 
-#: Artifact name -> (runner, description).
-ARTIFACTS: dict[str, tuple[Callable[[], object], str]] = {
+#: Artifact name -> (runner, description). Every runner accepts an
+#: optional ``telemetry=`` sink.
+ARTIFACTS: dict[str, tuple[Callable[..., object], str]] = {
     "table1": (run_table1, "component power budgets (input data)"),
     "table2": (run_table2, "cycle breakdown + ECN identification (~1 min)"),
     "table3": (run_table3, "platform specifications"),
@@ -50,8 +58,7 @@ ARTIFACTS: dict[str, tuple[Callable[[], object], str]] = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of the IPDPS'21 LGV offloading paper.",
@@ -59,11 +66,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "artifacts",
         nargs="+",
-        help="artifact names (see 'list'), or 'all', or 'list'",
+        help="artifact names (see 'list'), or 'all', or 'list'; "
+        "prefix with 'trace' to force instrumented runs",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON (open in Perfetto) and enable telemetry",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a metrics snapshot JSON and enable telemetry",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     names = list(args.artifacts)
+    trace_mode = False
+    if names and names[0] == "trace":
+        trace_mode = True
+        names = names[1:]
+        if not names:
+            print("'trace' needs at least one artifact name — try 'list'", file=sys.stderr)
+            return 2
     if "list" in names:
         width = max(len(n) for n in ARTIFACTS)
         for name, (_, desc) in ARTIFACTS.items():
@@ -77,14 +110,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown artifact(s): {', '.join(unknown)} — try 'list'", file=sys.stderr)
         return 2
 
+    tel: Optional[Telemetry] = None
+    if trace_mode or args.trace_out or args.metrics_out:
+        tel = Telemetry()
+
     for name in names:
         runner, _ = ARTIFACTS[name]
         print(f"\n######## {name} ########")
         t0 = time.perf_counter()
-        result = runner()
+        result = runner(telemetry=tel) if tel is not None else runner()
         elapsed = time.perf_counter() - t0
         print(result.render())
         print(f"[{name} regenerated in {elapsed:.1f} s]")
+
+    if tel is not None:
+        trace_out = args.trace_out or (f"{'_'.join(names)}_trace.json" if trace_mode else None)
+        metrics_out = args.metrics_out or (
+            f"{'_'.join(names)}_metrics.json" if trace_mode else None
+        )
+        if trace_out:
+            p = tel.write_trace(trace_out)
+            print(f"[trace written to {p} — open in https://ui.perfetto.dev]")
+        if metrics_out:
+            p = tel.write_metrics(metrics_out)
+            print(f"[metrics written to {p}]")
+        print()
+        print(render_report(tel))
     return 0
 
 

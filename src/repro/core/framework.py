@@ -19,7 +19,7 @@ internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compute.host import Host
 from repro.core.bottleneck import NodeClassification, classify_nodes
@@ -138,7 +138,7 @@ class OffloadingFramework:
         self._started = True
         placement = self.config.initial_placement
         if placement == "strategy":
-            self.switcher.apply(self.strategy.initial_plan())
+            self.switcher.apply(self.strategy.initial_plan(), reason="initial")
         elif placement == "all_server":
             # whole-workload offload baseline (RoboMaker-style):
             # everything movable goes to the server. The actuator-side
@@ -149,7 +149,8 @@ class OffloadingFramework:
                 if n not in ("velocity_mux", "sensor_driver", "actuator", "safety")
             )
             self.switcher.apply(
-                MigrationPlan(to_server=movable, to_robot=(), vdp_time_s=float("nan"))
+                MigrationPlan(to_server=movable, to_robot=(), vdp_time_s=float("nan")),
+                reason="initial:all_server",
             )
             self.strategy.t3_on_server = True
         else:  # all_local: the no-offloading baseline
@@ -179,7 +180,8 @@ class OffloadingFramework:
             if decision is QualityDecision.GO_LOCAL:
                 pulled = self.switcher.remote_nodes()
                 self.switcher.apply(
-                    MigrationPlan(to_server=(), to_robot=pulled, vdp_time_s=sample.local_s)
+                    MigrationPlan(to_server=(), to_robot=pulled, vdp_time_s=sample.local_s),
+                    reason="algo2:retreat",
                 )
                 self.strategy.t3_on_server = False
                 self._retreated = True
@@ -192,7 +194,7 @@ class OffloadingFramework:
                     to_robot=(),
                     vdp_time_s=sample.cloud_s,
                 )
-                self.switcher.apply(plan)
+                self.switcher.apply(plan, reason="algo2:return")
                 self.strategy.t3_on_server = True
                 self._retreated = False
                 action = "algo2:return"
@@ -204,7 +206,7 @@ class OffloadingFramework:
         ):
             plan = self.strategy.decide(sample.local_s, sample.cloud_s)
             if plan.to_server or plan.to_robot:
-                self.switcher.apply(plan)
+                self.switcher.apply(plan, reason="algo1")
                 action = f"algo1:{self.strategy.current_vdp_location}"
 
         vdp = sample.cloud_s if self.strategy.t3_on_server else sample.local_s
@@ -223,6 +225,17 @@ class OffloadingFramework:
                 velocity_cap=vcap,
             )
         )
+        tel = self.graph.telemetry
+        if tel is not None:
+            tel.emit(
+                "adjust",
+                t=now,
+                track="framework",
+                action=action,
+                bandwidth_hz=bw,
+                direction=direction,
+                velocity_cap=vcap,
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.core.bottleneck import NodeClass, NodeClassification
+from repro.core.bottleneck import NodeClassification
 
 
 class OffloadingGoal(Enum):

@@ -12,10 +12,17 @@ Collects the four inputs Algorithms 1 and 2 need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compute.host import Host
 from repro.core.bottleneck import VDP_NODES
+from repro.middleware.graph import Graph
+from repro.middleware.node import Node
+from repro.network.monitor import (
+    BandwidthMonitor,
+    RttMonitor,
+    SignalDirectionEstimator,
+)
 
 #: The callback that constitutes each VDP node's per-tick work; other
 #: callbacks (pose caching, odom updates) are bookkeeping and must not
@@ -25,13 +32,6 @@ VDP_TRIGGERS: dict[str, str] = {
     "path_tracking": "costmap",
     "velocity_mux": "cmd_vel_raw",
 }
-from repro.middleware.graph import Graph
-from repro.middleware.node import Node
-from repro.network.monitor import (
-    BandwidthMonitor,
-    RttMonitor,
-    SignalDirectionEstimator,
-)
 
 
 @dataclass
@@ -152,7 +152,14 @@ class Profiler:
         return total
 
     def sample_vdp(self) -> VdpSample:
-        """Record and return a VDP observation pair."""
+        """Record and return a VDP observation pair.
+
+        Each sample is appended to :attr:`vdp_history` and, when the
+        graph carries a telemetry object, published on its event bus as
+        a ``"vdp_sample"`` event with matching fields (plus
+        ``vdp_estimate_seconds`` gauges), so traces show the makespan
+        estimates Algorithms 1-2 acted on.
+        """
         any_remote = any(
             not p.on_robot
             for n, p in self.node_profiles.items()
@@ -165,4 +172,19 @@ class Profiler:
             any_remote=any_remote,
         )
         self.vdp_history.append(s)
+        tel = self.graph.telemetry
+        if tel is not None:
+            tel.emit(
+                "vdp_sample",
+                t=s.t,
+                track="vdp",
+                local_s=s.local_s,
+                cloud_s=s.cloud_s,
+                any_remote=s.any_remote,
+            )
+            gauge = tel.metrics.gauge(
+                "vdp_estimate_seconds", "latest VDP makespan estimates (Eq. 2b)"
+            )
+            gauge.set(s.local_s, which="local")
+            gauge.set(s.cloud_s, which="cloud")
         return s

@@ -11,9 +11,8 @@ lands on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.compute.executor import ParallelProfile
 from repro.compute.host import Host
 from repro.core.migration import MigrationPlan
 from repro.middleware.graph import Graph
@@ -57,22 +56,26 @@ class Switcher:
         self.server_threads = dict(server_threads or {})
         self.records: list[MigrationRecord] = []
 
-    def apply(self, plan: MigrationPlan) -> float:
-        """Execute a plan; returns the total pause time incurred (s)."""
+    def apply(self, plan: MigrationPlan, reason: str = "") -> float:
+        """Execute a plan; returns the total pause time incurred (s).
+
+        ``reason`` annotates the telemetry migration events ("initial",
+        "algo1", "algo2:retreat", ...).
+        """
         total = 0.0
         for name in plan.to_server:
-            total += self._move(name, self.server_host)
+            total += self._move(name, self.server_host, reason)
         for name in plan.to_robot:
-            total += self._move(name, self.lgv_host)
+            total += self._move(name, self.lgv_host, reason)
         return total
 
-    def _move(self, name: str, dest: Host) -> float:
+    def _move(self, name: str, dest: Host, reason: str = "") -> float:
         node = self.graph.nodes.get(name)
         if node is None:
             return 0.0
         if node.host is dest:
             return 0.0
-        pause = self.graph.move_node(name, dest)
+        pause = self.graph.move_node(name, dest, reason=reason)
         if dest is self.server_host:
             node.threads = self.server_threads.get(name, 1)
         else:

@@ -6,9 +6,9 @@ from dataclasses import dataclass
 
 from repro.core.framework import FrameworkConfig, OffloadingFramework
 from repro.core.migration import OffloadingGoal
-from repro.vehicle.robot import RobotProfile
+from repro.telemetry import Telemetry
 from repro.workloads.exploration import ExplorationWorkload, build_exploration
-from repro.workloads.missions import MissionResult, MissionRunner
+from repro.workloads.missions import MissionRunner
 from repro.workloads.navigation import NavigationWorkload, build_navigation
 from repro.world.geometry import Pose2D
 from repro.world.grid import OccupancyGrid
@@ -67,9 +67,12 @@ def launch_navigation(
     seed: int = 0,
     timeout_s: float = 400.0,
     goal_mode: OffloadingGoal = OffloadingGoal.COMPLETION_TIME,
+    telemetry: Telemetry | None = None,
 ) -> tuple[NavigationWorkload, OffloadingFramework, MissionRunner]:
     """Build a navigation mission under ``deployment`` (not yet run)."""
-    w = build_navigation(world or box_world(10.0), start, goal, wap_xy=wap_xy, seed=seed)
+    w = build_navigation(
+        world or box_world(10.0), start, goal, wap_xy=wap_xy, seed=seed, telemetry=telemetry
+    )
     server = w.gateway_host if deployment.server == "gateway" else w.cloud_host
     fw = OffloadingFramework(
         w.graph,
@@ -95,9 +98,12 @@ def launch_exploration(
     wap_xy: tuple[float, float] = (2.0, 2.0),
     seed: int = 0,
     timeout_s: float = 700.0,
+    telemetry: Telemetry | None = None,
 ) -> tuple[ExplorationWorkload, OffloadingFramework, MissionRunner]:
     """Build an exploration mission under ``deployment`` (not yet run)."""
-    w = build_exploration(world or box_world(8.0), start, wap_xy=wap_xy, seed=seed)
+    w = build_exploration(
+        world or box_world(8.0), start, wap_xy=wap_xy, seed=seed, telemetry=telemetry
+    )
     server = w.gateway_host if deployment.server == "gateway" else w.cloud_host
     fw = OffloadingFramework(
         w.graph,

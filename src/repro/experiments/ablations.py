@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,12 +24,12 @@ from repro.core.netqual import (
     QualityDecision,
 )
 from repro.experiments._missions import DEPLOYMENTS, Deployment, launch_navigation
-from repro.experiments.fig11_network import run_fig11
 from repro.network.link import WirelessLink
 from repro.network.monitor import BandwidthMonitor, SignalDirectionEstimator
 from repro.network.signal import WapSite
 from repro.network.udp import UdpChannel
 from repro.sim.rng import seeded_rng
+from repro.telemetry import Telemetry
 from repro.workloads.missions import MissionResult
 
 
@@ -49,13 +49,17 @@ class GranularityAblation:
         return self.table.render()
 
 
-def run_ablation_migration_granularity(seed: int = 0) -> GranularityAblation:
+def run_ablation_migration_granularity(
+    seed: int = 0, telemetry: Telemetry | None = None
+) -> GranularityAblation:
     """Navigation mission with Algorithm 1 vs offload-everything."""
     results = {}
     for placement, label in (("strategy", "fine-grained (Algorithm 1)"),
                              ("all_server", "whole workload")):
         dep = Deployment(label, placement, "gateway", 8)
-        w, fw, runner = launch_navigation(dep, seed=seed)
+        if telemetry is not None:
+            telemetry.emit("mission_start", t=0.0, track="missions", policy=label)
+        w, fw, runner = launch_navigation(dep, seed=seed, telemetry=telemetry)
         results[placement] = (runner.run(), w)
     t = Table(
         title="Ablation — migration granularity (navigation, gateway +8T)",
@@ -158,10 +162,16 @@ def _drive(controller_kind: str, seed: int = 0, threshold_hz: float = 4.0) -> tu
     return starved, switches
 
 
-def run_ablation_netqual_metric(seed: int = 0) -> NetqualAblation:
+def run_ablation_netqual_metric(
+    seed: int = 0, telemetry: Telemetry | None = None
+) -> NetqualAblation:
     """Compare Algorithm 2 against the latency-threshold strawman."""
     s2, sw2 = _drive("algo2", seed)
     sl, swl = _drive("latency", seed)
+    if telemetry is not None:
+        for policy, times in (("algo2", sw2), ("latency", swl)):
+            for st in times:
+                telemetry.emit("netqual_switch", t=st, track="netqual", policy=policy)
     return NetqualAblation(
         starved_s_algorithm2=s2,
         starved_s_latency=sl,
@@ -186,18 +196,28 @@ class VelocityAblation:
         return self.table.render()
 
 
-def run_ablation_velocity_adaptation(seed: int = 0, timeout_s: float = 300.0) -> VelocityAblation:
+def run_ablation_velocity_adaptation(
+    seed: int = 0, timeout_s: float = 300.0, telemetry: Telemetry | None = None
+) -> VelocityAblation:
     """No-offloading mission with the velocity law vs a fixed 1 m/s cap.
 
     Without the law the robot out-drives its 1 s perception latency:
     collisions and safety stops, not progress.
     """
     dep = DEPLOYMENTS[0]  # local
-    w1, fw1, r1 = launch_navigation(dep, seed=seed, timeout_s=timeout_s)
+    if telemetry is not None:
+        telemetry.emit("mission_start", t=0.0, track="missions", policy="adaptive")
+    w1, fw1, r1 = launch_navigation(dep, seed=seed, timeout_s=timeout_s, telemetry=telemetry)
     adaptive = r1.run()
 
-    w2, fw2, r2 = launch_navigation(dep, seed=seed, timeout_s=timeout_s)
-    fw2.controller.update_velocity = lambda now, vdp: 1.0  # law disabled
+    if telemetry is not None:
+        telemetry.emit("mission_start", t=0.0, track="missions", policy="fixed")
+    w2, fw2, r2 = launch_navigation(dep, seed=seed, timeout_s=timeout_s, telemetry=telemetry)
+
+    def fixed_cap(now: float, vdp: float) -> float:
+        return 1.0  # law disabled
+
+    fw2.controller.update_velocity = fixed_cap
     w2.lgv.set_velocity_cap(1.0)
     fixed = r2.run()
 

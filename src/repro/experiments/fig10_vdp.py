@@ -28,7 +28,7 @@ from repro.control.dwa_parallel import ParallelScorer
 from repro.control.velocity_mux import VelocityMux, mux_cycles
 from repro.datasets.sequences import box_sequence
 from repro.perception.costmap import LayeredCostmap, costmap_update_cycles
-from repro.world.geometry import Pose2D
+from repro.telemetry import Telemetry
 from repro.world.maps import box_world
 
 #: The Fig. 10 sweep axes.
@@ -78,8 +78,12 @@ class Fig10Result:
         return "\n\n".join(t.render() for t in self.tables)
 
 
-def run_fig10() -> Fig10Result:
-    """Regenerate Fig. 10 from the execution model."""
+def run_fig10(telemetry: Telemetry | None = None) -> Fig10Result:
+    """Regenerate Fig. 10 from the execution model.
+
+    With ``telemetry`` each modeled VDP tick becomes a complete span on
+    a ``model:<platform>`` track, laid back to back.
+    """
     res = Fig10Result()
     for platform in PLATFORMS:
         model = ExecutionModel(platform)
@@ -87,12 +91,24 @@ def run_fig10() -> Fig10Result:
             title=f"Fig. 10 ({platform.name}) — VDP (CG+PT+VM) per-tick processing time",
             columns=["threads \\ samples"] + [str(s) for s in SAMPLE_COUNTS],
         )
+        cursor = 0.0
         for n in THREAD_COUNTS:
             row: list = [str(n)]
             for samples in SAMPLE_COUNTS:
                 secs = model.exec_time(vdp_cycles(samples), n, DWA_PROFILE)
                 res.times[(platform.name, n, samples)] = secs
                 row.append(format_seconds(secs))
+                if telemetry is not None:
+                    telemetry.tracer.complete(
+                        f"vdp[{samples}s/{n}t]",
+                        ts=cursor,
+                        dur=secs,
+                        track=f"model:{platform.name}",
+                        cat="model",
+                        samples=samples,
+                        threads=n,
+                    )
+                    cursor += secs
             t.rows.append(row)
         res.tables.append(t)
     return res

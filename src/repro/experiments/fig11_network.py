@@ -28,6 +28,7 @@ from repro.network.monitor import BandwidthMonitor, SignalDirectionEstimator
 from repro.network.signal import WapSite
 from repro.network.udp import UdpChannel
 from repro.sim.rng import seeded_rng
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -61,6 +62,7 @@ def run_fig11(
     send_rate_hz: float = 5.0,
     threshold_hz: float = 4.0,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> Fig11Result:
     """Run the scripted A->C->A drive and collect the Fig. 11 series.
 
@@ -86,7 +88,6 @@ def run_fig11(
     total_time = 2.0 * (out_distance_m - pos[0]) / speed
     n_steps = int(total_time / dt)
     heading_out = True
-    last_lat_ms = math.nan
     second_acc: list[float] = []
 
     for i in range(n_steps + 1):
@@ -125,5 +126,20 @@ def run_fig11(
             elif decision is QualityDecision.GO_REMOTE:
                 remote = True
                 res.switch_events.append((now, "Algorithm 2: migrate back to cloud"))
+            if telemetry is not None:
+                g = telemetry.metrics.gauge(
+                    "fig11_network", "latest Fig. 11 A->C->A drive readings"
+                )
+                g.set(res.bandwidth_hz[-1], series="bandwidth_hz")
+                g.set(res.distance_m[-1], series="distance_m")
+                if decision is not QualityDecision.HOLD:
+                    telemetry.emit(
+                        "netqual_switch",
+                        t=now,
+                        track="netqual",
+                        decision=decision.name,
+                        bandwidth_hz=res.bandwidth_hz[-1],
+                        distance_m=res.distance_m[-1],
+                    )
 
     return res

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.analysis.figures import Series, ascii_series
 from repro.experiments._missions import DEPLOYMENTS, Deployment, launch_navigation
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -45,12 +46,21 @@ def run_fig12(
     deployments: tuple[Deployment, ...] = DEPLOYMENTS,
     seed: int = 0,
     timeout_s: float = 300.0,
+    telemetry: Telemetry | None = None,
 ) -> Fig12Result:
     """Run the navigation mission under each deployment, recording the
-    controller's velocity cap over time."""
+    controller's velocity cap over time.
+
+    With ``telemetry`` every mission is instrumented into the same sink
+    (missions restart sim time at zero; a ``mission_start`` instant
+    event marks each deployment's segment)."""
     res = Fig12Result()
     for dep in deployments:
-        w, fw, runner = launch_navigation(dep, seed=seed, timeout_s=timeout_s)
+        if telemetry is not None:
+            telemetry.emit("mission_start", t=0.0, track="missions", deployment=dep.label)
+        w, fw, runner = launch_navigation(
+            dep, seed=seed, timeout_s=timeout_s, telemetry=telemetry
+        )
         mission = runner.run()
         s = Series(dep.label)
         for t, v in fw.velocity_trace():

@@ -28,6 +28,7 @@ from repro.experiments._missions import (
     launch_exploration,
     launch_navigation,
 )
+from repro.telemetry import Telemetry
 from repro.workloads.missions import MissionResult
 
 
@@ -60,6 +61,7 @@ def run_fig13(
     seed: int = 0,
     nav_timeout_s: float = 400.0,
     exp_timeout_s: float = 700.0,
+    telemetry: Telemetry | None = None,
 ) -> Fig13Result:
     """Run the Fig. 13 mission matrix."""
     res = Fig13Result()
@@ -73,10 +75,19 @@ def run_fig13(
     )
     for workload in workloads:
         for dep in deployments:
+            if telemetry is not None:
+                telemetry.emit(
+                    "mission_start", t=0.0, track="missions",
+                    workload=workload, deployment=dep.label,
+                )
             if workload == "navigation":
-                w, fw, runner = launch_navigation(dep, seed=seed, timeout_s=nav_timeout_s)
+                w, fw, runner = launch_navigation(
+                    dep, seed=seed, timeout_s=nav_timeout_s, telemetry=telemetry
+                )
             else:
-                w, fw, runner = launch_exploration(dep, seed=seed, timeout_s=exp_timeout_s)
+                w, fw, runner = launch_exploration(
+                    dep, seed=seed, timeout_s=exp_timeout_s, telemetry=telemetry
+                )
             mission = runner.run()
             res.results[(workload, dep.label)] = mission
             e = mission.energy

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.analysis.figures import Series, ascii_series
 from repro.experiments._missions import DEPLOYMENTS, launch_navigation
+from repro.telemetry import Telemetry
 from repro.world.geometry import Pose2D
 from repro.world.maps import obstacle_course_world
 
@@ -45,12 +46,15 @@ def run_fig14(
     seed: int = 7,
     low_cap: float = 0.3,
     timeout_s: float = 400.0,
+    telemetry: Telemetry | None = None,
 ) -> Fig14Result:
     """Run the obstacle-course mission at a high and a low velocity cap."""
     world = obstacle_course_world(12.0, n_obstacles=10, seed=seed)
     res = Fig14Result()
     for label, cap in (("high cap", None), (f"cap {low_cap}", low_cap)):
         dep = DEPLOYMENTS[2]  # gateway +8T
+        if telemetry is not None:
+            telemetry.emit("mission_start", t=0.0, track="missions", run=label)
         w, fw, runner = launch_navigation(
             dep,
             world=world,
@@ -59,6 +63,7 @@ def run_fig14(
             wap_xy=(6.0, 6.0),
             seed=seed,
             timeout_s=timeout_s,
+            telemetry=telemetry,
         )
         if cap is not None:
             fw.controller.hardware_cap = cap

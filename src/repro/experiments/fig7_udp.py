@@ -18,6 +18,7 @@ from repro.network.link import WirelessLink
 from repro.network.signal import WapSite
 from repro.network.udp import UdpChannel
 from repro.sim.rng import seeded_rng
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -64,6 +65,7 @@ def run_fig7(
     weak_from: int = 1,
     period_s: float = 0.5,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> Fig7Result:
     """Replay the Fig. 7 scenario.
 
@@ -99,6 +101,18 @@ def run_fig7(
                 latency_ms=lat * 1e3 if lat is not None else None,
             )
         )
+        if telemetry is not None:
+            telemetry.emit(
+                "udp_packet",
+                t=t,
+                track="udp",
+                index=i + 1,
+                signal="weak" if weak else "strong",
+                fate=fate,
+            )
+            telemetry.metrics.counter(
+                "udp_packets_total", "Fig. 7 packet fates"
+            ).inc(fate=fate)
 
     # signal recovers: the next send flushes the kernel buffer
     pos[0] = 1.0

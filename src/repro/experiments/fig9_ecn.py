@@ -27,7 +27,7 @@ from repro.datasets.sequences import intel_lab_sequence
 from repro.perception.gmapping import GMappingConfig, gmapping_scan_cycles
 from repro.perception.gmapping_parallel import ParallelGMapping
 from repro.sim.rng import seeded_rng
-from repro.world.geometry import Pose2D
+from repro.telemetry import Telemetry
 
 #: The Fig. 9 sweep axes.
 THREAD_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 12)
@@ -45,9 +45,6 @@ class Fig9Result:
 
     def best_speedup(self, platform: str) -> float:
         """Best speedup of ``platform`` over the 1-thread Turtlebot3."""
-        base = max(
-            self.times[("turtlebot3-pi", 1, p)] for p in PARTICLE_COUNTS
-        )
         best = min(
             self.times[(platform, n, max(PARTICLE_COUNTS))] for n in THREAD_COUNTS
         )
@@ -58,8 +55,15 @@ class Fig9Result:
         return "\n\n".join(t.render() for t in self.tables)
 
 
-def run_fig9() -> Fig9Result:
-    """Regenerate Fig. 9 from the execution model."""
+def run_fig9(telemetry: Telemetry | None = None) -> Fig9Result:
+    """Regenerate Fig. 9 from the execution model.
+
+    With ``telemetry`` the sweep emits each modeled SLAM scan as a
+    complete span on a ``model:<platform>`` track (so the sweep is
+    viewable as a timeline), then runs a short instrumented exploration
+    mission so the trace also carries the in-situ graph, transport and
+    energy instrumentation.
+    """
     res = Fig9Result()
     for platform in PLATFORMS:
         model = ExecutionModel(platform)
@@ -67,6 +71,7 @@ def run_fig9() -> Fig9Result:
             title=f"Fig. 9 ({platform.name}) — SLAM per-scan processing time",
             columns=["threads \\ particles"] + [str(p) for p in PARTICLE_COUNTS],
         )
+        cursor = 0.0  # synthetic timeline: scans laid back to back
         for n in THREAD_COUNTS:
             row: list = [str(n)]
             for particles in PARTICLE_COUNTS:
@@ -74,9 +79,37 @@ def run_fig9() -> Fig9Result:
                 secs = model.exec_time(cycles, n, SLAM_PROFILE)
                 res.times[(platform.name, n, particles)] = secs
                 row.append(format_seconds(secs))
+                if telemetry is not None:
+                    telemetry.tracer.complete(
+                        f"slam[{particles}p/{n}t]",
+                        ts=cursor,
+                        dur=secs,
+                        track=f"model:{platform.name}",
+                        cat="model",
+                        particles=particles,
+                        threads=n,
+                    )
+                    cursor += secs
             t.rows.append(row)
         res.tables.append(t)
+    if telemetry is not None:
+        _trace_reference_mission(telemetry)
     return res
+
+
+def _trace_reference_mission(telemetry: Telemetry, timeout_s: float = 20.0) -> None:
+    """Run a short instrumented exploration mission into ``telemetry``.
+
+    The Fig. 9 sweep itself is a pure model; this gives the trace its
+    in-situ counterpart — the SLAM ECN running under the offloading
+    framework with kernel spans, per-node histograms, topic counters,
+    transport stats, migration events and energy gauges.
+    """
+    from repro.experiments._missions import Deployment, launch_exploration
+
+    dep = Deployment("traced", "strategy", "cloud", 12)
+    w, fw, runner = launch_exploration(dep, timeout_s=timeout_s, telemetry=telemetry)
+    runner.run()
 
 
 def measure_real_slam(

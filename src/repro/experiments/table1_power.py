@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import Table
+from repro.telemetry import Telemetry
 from repro.vehicle.power import (
     ComponentPower,
     PIONEER3DX_POWER,
@@ -36,8 +37,11 @@ class Table1Result:
         return self.table.render()
 
 
-def run_table1() -> Table1Result:
-    """Regenerate Table I."""
+def run_table1(telemetry: Telemetry | None = None) -> Table1Result:
+    """Regenerate Table I (static input data; telemetry gets one
+    ``artifact`` marker event)."""
+    if telemetry is not None:
+        telemetry.emit("artifact", t=0.0, track="artifacts", name="table1")
     t = Table(
         title="Table I — Maximum power consumption of each component (Watt)",
         columns=["LGV", "Sensor", "Motor", "Microcontroller", "Embedded Computer"],

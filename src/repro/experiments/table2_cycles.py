@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.tables import Table, format_si
+from repro.analysis.tables import Table
 from repro.core.bottleneck import NodeClassification, classify_nodes
 from repro.core.framework import FrameworkConfig, OffloadingFramework
+from repro.telemetry import Telemetry
 from repro.workloads.exploration import build_exploration
 from repro.workloads.missions import MissionRunner
 from repro.workloads.navigation import build_navigation
@@ -59,9 +60,12 @@ class Table2Result:
         return self.table.render()
 
 
-def _profile_navigation(duration_s: float, seed: int) -> dict[str, float]:
+def _profile_navigation(
+    duration_s: float, seed: int, telemetry: Telemetry | None = None
+) -> dict[str, float]:
     w = build_navigation(
-        box_world(10.0), Pose2D(2, 2, 0.7), Pose2D(8, 8, 0), seed=seed, wap_xy=(2.0, 2.0)
+        box_world(10.0), Pose2D(2, 2, 0.7), Pose2D(8, 8, 0), seed=seed,
+        wap_xy=(2.0, 2.0), telemetry=telemetry,
     )
     fw = OffloadingFramework(
         w.graph, w.lgv, w.lgv_host, w.gateway_host, (2.0, 2.0), {}, _PROFILE_CONFIG
@@ -71,8 +75,13 @@ def _profile_navigation(duration_s: float, seed: int) -> dict[str, float]:
     return {k: v for k, v in runner._merged_cycles().items() if k in REPORTED}
 
 
-def _profile_exploration(duration_s: float, seed: int) -> dict[str, float]:
-    w = build_exploration(box_world(8.0), Pose2D(2, 2, 0.5), seed=seed, wap_xy=(2.0, 2.0))
+def _profile_exploration(
+    duration_s: float, seed: int, telemetry: Telemetry | None = None
+) -> dict[str, float]:
+    w = build_exploration(
+        box_world(8.0), Pose2D(2, 2, 0.5), seed=seed, wap_xy=(2.0, 2.0),
+        telemetry=telemetry,
+    )
     fw = OffloadingFramework(
         w.graph, w.lgv, w.lgv_host, w.gateway_host, (2.0, 2.0), {}, _PROFILE_CONFIG
     )
@@ -81,14 +90,16 @@ def _profile_exploration(duration_s: float, seed: int) -> dict[str, float]:
     return {k: v for k, v in runner._merged_cycles().items() if k in REPORTED}
 
 
-def run_table2(duration_s: float = 40.0, seed: int = 0) -> Table2Result:
+def run_table2(
+    duration_s: float = 40.0, seed: int = 0, telemetry: Telemetry | None = None
+) -> Table2Result:
     """Regenerate Table II by profiling both workload categories.
 
     ``duration_s`` caps each profiling mission; shares converge within
     tens of seconds because the pipeline is periodic.
     """
-    nav = _profile_navigation(duration_s, seed)
-    exp = _profile_exploration(duration_s, seed)
+    nav = _profile_navigation(duration_s, seed, telemetry)
+    exp = _profile_exploration(duration_s, seed, telemetry)
     cls_nav = classify_nodes(nav)
     cls_exp = classify_nodes(exp)
 

@@ -11,6 +11,7 @@ from repro.compute.platform import (
     PlatformSpec,
     TURTLEBOT3_PI,
 )
+from repro.telemetry import Telemetry
 
 PLATFORMS: tuple[PlatformSpec, ...] = (TURTLEBOT3_PI, EDGE_GATEWAY, CLOUD_SERVER)
 
@@ -26,8 +27,10 @@ class Table3Result:
         return self.table.render()
 
 
-def run_table3() -> Table3Result:
+def run_table3(telemetry: Telemetry | None = None) -> Table3Result:
     """Regenerate Table III from the platform specs."""
+    if telemetry is not None:
+        telemetry.emit("artifact", t=0.0, track="artifacts", name="table3")
     t = Table(
         title="Table III — Computing offloading platform specifications",
         columns=["Platform", "Frequency", "Cores", "HW threads", "Feature"],

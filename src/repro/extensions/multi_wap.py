@@ -13,7 +13,7 @@ is meaningfully stronger).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

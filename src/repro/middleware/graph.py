@@ -11,13 +11,17 @@ Algorithm 1 and Algorithm 2) is :meth:`Graph.move_node`.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from repro.compute.host import Host
 from repro.middleware.messages import Message
 from repro.middleware.node import Node
 from repro.middleware.serialization import serialized_size
 from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+    from repro.telemetry.instrument import GraphInstruments
 
 
 class Transport(Protocol):
@@ -59,9 +63,20 @@ class Graph:
         The discrete-event simulator driving everything.
     transport:
         Cross-host byte mover; defaults to :class:`InstantTransport`.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; when attached the
+        graph records per-node processing-time histograms, per-topic
+        message/byte counters, transport latency/drop stats and
+        migration events. ``None`` (default) costs one attribute test
+        per hook site.
     """
 
-    def __init__(self, sim: Simulator, transport: Transport | None = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport | None = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self.sim = sim
         self.transport: Transport = transport or InstantTransport()
         self.nodes: dict[str, Node] = {}
@@ -71,6 +86,17 @@ class Graph:
         self._processed_hooks: list[ProcessedHook] = []
         self._publish_hooks: list[Callable[[Node, str, Message], None]] = []
         self.migrations: list[tuple[float, str, str, str]] = []
+        self.telemetry: "Telemetry | None" = None
+        self._tel: "GraphInstruments | None" = None
+        if telemetry is not None:
+            self.set_telemetry(telemetry)
+
+    def set_telemetry(self, telemetry: "Telemetry") -> None:
+        """Attach ``telemetry``, pre-creating the hot-path instruments."""
+        from repro.telemetry.instrument import GraphInstruments
+
+        self.telemetry = telemetry
+        self._tel = GraphInstruments(telemetry)
 
     # ------------------------------------------------------------------
     # Topology
@@ -112,16 +138,46 @@ class Graph:
         msg.stamp = self.sim.now()
         for hook in self._publish_hooks:
             hook(src, topic, msg)
+        assert src.host is not None
+        self._fanout(src, src.host, topic, msg)
+
+    def inject(self, topic: str, msg: Message, host: Host) -> None:
+        """Publish from outside any node (e.g. the physical sensor).
+
+        ``host`` is where the data originates — the LGV for sensors —
+        so cross-host subscribers still pay transport.
+        """
+        msg.stamp = self.sim.now()
+        if self._publish_hooks:
+            hook_src = _ExternalSource(host)
+            for hook in self._publish_hooks:
+                hook(hook_src, topic, msg)
+        self._fanout(None, host, topic, msg)
+
+    def _fanout(self, src: Node | None, src_host: Host, topic: str, msg: Message) -> None:
+        """Deliver to all subscribers; shared by publish and inject."""
+        tel = self._tel
+        n_bytes: int | None = None
+        if tel is not None:
+            n_bytes = serialized_size(msg)
+            tel.topic_messages.inc(topic=topic)
+            tel.topic_bytes.inc(n_bytes, topic=topic)
         for sub in self._subs.get(topic, ()):  # stable order = registration order
             if sub is src:
                 continue
-            if sub.host is src.host:
+            if sub.host is src_host:
                 sub._deliver(topic, msg)
             else:
-                assert src.host is not None and sub.host is not None
-                latency = self.transport.send(
-                    src.host, sub.host, serialized_size(msg), self.sim.now()
-                )
+                assert sub.host is not None
+                if n_bytes is None:
+                    n_bytes = serialized_size(msg)
+                latency = self.transport.send(src_host, sub.host, n_bytes, self.sim.now())
+                if tel is not None:
+                    tel.sends.inc(topic=topic)
+                    if latency is None:
+                        tel.drops.inc(topic=topic)
+                    else:
+                        tel.send_latency.observe(latency, topic=topic)
                 if latency is None:
                     continue  # dropped
                 if latency <= 0:
@@ -131,31 +187,6 @@ class Graph:
                         latency,
                         lambda s=sub, t=topic, m=msg: s._deliver(t, m),
                         label=f"net:{topic}",
-                    )
-
-    def inject(self, topic: str, msg: Message, host: Host) -> None:
-        """Publish from outside any node (e.g. the physical sensor).
-
-        ``host`` is where the data originates — the LGV for sensors —
-        so cross-host subscribers still pay transport.
-        """
-        msg.stamp = self.sim.now()
-        for hook in self._publish_hooks:
-            hook_src = _ExternalSource(host)
-            hook(hook_src, topic, msg)
-        for sub in self._subs.get(topic, ()):
-            if sub.host is host:
-                sub._deliver(topic, msg)
-            else:
-                assert sub.host is not None
-                latency = self.transport.send(host, sub.host, serialized_size(msg), self.sim.now())
-                if latency is None:
-                    continue
-                if latency <= 0:
-                    sub._deliver(topic, msg)
-                else:
-                    self.sim.schedule_after(
-                        latency, lambda s=sub, t=topic, m=msg: s._deliver(t, m), label=f"net:{topic}"
                     )
 
     # ------------------------------------------------------------------
@@ -192,12 +223,15 @@ class Graph:
     # ------------------------------------------------------------------
     # Migration
     # ------------------------------------------------------------------
-    def move_node(self, name: str, new_host: Host, transfer: bool = True) -> float:
+    def move_node(
+        self, name: str, new_host: Host, transfer: bool = True, reason: str = ""
+    ) -> float:
         """Move a node to ``new_host``; returns the pause duration (s).
 
         During the pause the node drops input (its state is in flight).
         With ``transfer=False`` the move is instantaneous — used when a
-        warm replica already exists on the target.
+        warm replica already exists on the target. ``reason`` annotates
+        the migration event ("algo1", "algo2:retreat", ...).
         """
         node = self.nodes[name]
         assert node.host is not None
@@ -211,7 +245,7 @@ class Graph:
             pause = latency if latency is not None else self.transport.rtt(
                 old_host, new_host, state_bytes, self.sim.now()
             )
-        self.migrations.append((self.sim.now(), name, old_host.name, new_host.name))
+        self._record_migration(name, old_host, new_host, pause, state_bytes, reason)
         node._paused = True
         node.host = new_host
 
@@ -240,6 +274,47 @@ class Graph:
         """Internal: fan a processed-callback event to hooks."""
         for hook in self._processed_hooks:
             hook(node, trigger, cycles, proc)
+        tel = self._tel
+        if tel is not None:
+            tel.proc_time.observe(proc, node=node.name)
+            tel.invocations.inc(node=node.name)
+            assert node.host is not None
+            tel.telemetry.tracer.complete(
+                node.name,
+                ts=self.sim.now(),
+                dur=proc,
+                track=f"host:{node.host.name}",
+                cat="node",
+                trigger=trigger,
+                cycles=cycles,
+            )
+
+    def _record_migration(
+        self,
+        name: str,
+        old_host: Host,
+        new_host: Host,
+        pause: float,
+        state_bytes: int,
+        reason: str,
+    ) -> None:
+        """Single path for migration bookkeeping: list + event bus."""
+        now = self.sim.now()
+        self.migrations.append((now, name, old_host.name, new_host.name))
+        tel = self._tel
+        if tel is not None:
+            tel.migrations.inc(node=name, dest=new_host.name)
+            tel.telemetry.emit(
+                "migration",
+                t=now,
+                track="migrations",
+                node=name,
+                src=old_host.name,
+                dest=new_host.name,
+                pause_s=pause,
+                state_bytes=state_bytes,
+                reason=reason,
+            )
 
 
 class _ExternalSource(Node):

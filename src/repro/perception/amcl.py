@@ -141,7 +141,6 @@ class Amcl:
 
     def resample(self) -> None:
         """Low-variance (systematic) resampling with KLD size adaptation."""
-        cfg = self.config
         n_target = self._kld_particle_count()
         positions = (self.rng.random() + np.arange(n_target)) / n_target
         cumsum = np.cumsum(self.weights)

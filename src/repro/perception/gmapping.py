@@ -18,7 +18,7 @@ produces bit-identical maps to the serial filter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

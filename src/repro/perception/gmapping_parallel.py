@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compute.threadpool import WorkerPool, chunk_bounds
+from repro.compute.threadpool import WorkerPool
 from repro.perception.gmapping import GMapping, GMappingConfig
 from repro.world.geometry import Pose2D
 

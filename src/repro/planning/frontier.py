@@ -16,7 +16,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.world.geometry import Pose2D
-from repro.world.grid import CellState, OccupancyGrid
+from repro.world.grid import OccupancyGrid
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,6 @@ the inflation ring (ROS's goal-tolerance behaviour).
 from __future__ import annotations
 
 import numpy as np
-from scipy import ndimage
 
 from repro.perception.costmap import CostValues, LayeredCostmap
 from repro.planning.search import PlanningError, astar, dijkstra

@@ -8,20 +8,32 @@ for periodic activities (sensor polling, control loops, monitors).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
 
 class Simulator:
-    """Single-threaded deterministic discrete-event simulator."""
+    """Single-threaded deterministic discrete-event simulator.
+
+    ``telemetry`` is normally attached via
+    :func:`repro.telemetry.instrument.instrument_simulator`; when set,
+    every fired event is recorded as a span on the ``"kernel"`` track
+    and counted in ``sim_events_total``. When ``None`` (the default)
+    the only cost is one attribute test per event.
+    """
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.clock = SimClock(start_time)
         self.queue = EventQueue()
         self._stopped = False
         self._processed = 0
+        self.telemetry: "Telemetry | None" = None
+        self._tel_events = None  # cached sim_events_total counter
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -72,7 +84,17 @@ class Simulator:
             return False
         ev = self.queue.pop()
         self.clock.advance_to(ev.time)
-        ev.callback()
+        tel = self.telemetry
+        if tel is None:
+            ev.callback()
+        else:
+            span = tel.tracer.begin(ev.label or "event", track="kernel")
+            try:
+                ev.callback()
+            finally:
+                tel.tracer.end(span)
+            if self._tel_events is not None:
+                self._tel_events.inc()
         self._processed += 1
         return True
 
@@ -82,18 +104,19 @@ class Simulator:
 
         When ``until`` is given the clock is advanced to exactly
         ``until`` even if the last event fired earlier, so integrals
-        over [0, until] are well-defined.
+        over [0, until] are well-defined. ``max_events`` is counted off
+        :attr:`events_processed` — the same tally :meth:`step`
+        maintains — so the two can never drift apart.
         """
         self._stopped = False
-        fired = 0
+        start = self._processed
         while self.queue and not self._stopped:
             t_next = self.queue.peek_time()
             if until is not None and t_next is not None and t_next > until:
                 break
-            if max_events is not None and fired >= max_events:
+            if max_events is not None and self._processed - start >= max_events:
                 break
             self.step()
-            fired += 1
         if until is not None and until > self.now():
             self.clock.advance_to(until)
         return self.now()
@@ -106,6 +129,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Total events fired since construction."""
         return self._processed
+
+    @property
+    def queue_depth(self) -> int:
+        """Live (non-cancelled) events currently scheduled."""
+        return len(self.queue)
 
 
 class Process:
@@ -133,22 +161,52 @@ class Process:
         self._event: Event | None = None
         self._running = True
         self.fire_count = 0
+        #: Virtual time the period is anchored to: the last firing, or
+        #: (before the first one) the creation time.
+        self._anchor = sim.now()
         delay = self.period if start_delay is None else start_delay
         self._event = sim.schedule_after(delay, self._fire, label=self.label)
 
     def _fire(self) -> None:
         if not self._running:
             return
+        self._event = None
         self.fire_count += 1
+        self._anchor = self.sim.now()
         self.callback()
-        if self._running:
+        if self._running and self._event is None:
             self._event = self.sim.schedule_after(self.period, self._fire, label=self.label)
 
     def set_period(self, period: float) -> None:
-        """Change the firing period; takes effect from the next firing."""
+        """Change the firing period, rescheduling the *pending* firing.
+
+        The next firing moves to ``max(now, last_firing + period)`` —
+        shrinking the period of an adaptive monitor loop takes effect
+        immediately instead of one stale interval later, and growing it
+        defers the already-scheduled firing. Subsequent firings follow
+        the new period as usual.
+        """
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self.period = float(period)
+        if self._running and self._event is not None:
+            self.sim.cancel(self._event)
+            target = max(self.sim.now(), self._anchor + self.period)
+            self._event = self.sim.schedule_at(target, self._fire, label=self.label)
+
+    def fire_now(self) -> None:
+        """Fire the callback immediately and restart the period from now.
+
+        Used by the telemetry flusher to capture final gauge values at
+        export time; counts as a normal firing (``fire_count`` grows,
+        the next periodic firing lands one full period later).
+        """
+        if not self._running:
+            raise RuntimeError(f"process {self.label!r} is stopped")
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+        self._fire()
 
     def stop(self) -> None:
         """Stop the process; pending firing is cancelled."""

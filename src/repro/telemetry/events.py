@@ -1,0 +1,76 @@
+"""The telemetry event bus: typed, timestamped run events.
+
+Discrete observations that are neither spans nor metric samples — a
+migration with its reason, a VDP makespan sample, an Algorithm 1/2
+decision — flow through one :class:`EventBus`. Components *emit*;
+anything (the trace exporter, an experiment, a test) can *subscribe*
+or query the retained log afterwards. This replaces the scattered
+private lists (``Graph.migrations``-style bookkeeping) with a single
+schema: ``(t, kind, fields)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One emitted event."""
+
+    t: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field accessor with default."""
+        return self.fields.get(key, default)
+
+
+class EventBus:
+    """Retains events and fans them out to subscribers.
+
+    Parameters
+    ----------
+    max_events:
+        Retention cap; past it new events still reach subscribers but
+        are no longer kept in :attr:`events` (``dropped`` counts them).
+    """
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        self.max_events = max_events
+        self.events: list[TelemetryEvent] = []
+        self.dropped = 0
+        self._subscribers: dict[str, list[Callable[[TelemetryEvent], None]]] = {}
+
+    def emit(self, kind: str, t: float, /, **fields: Any) -> TelemetryEvent:
+        """Record one event and notify subscribers of ``kind`` and ``"*"``."""
+        ev = TelemetryEvent(t=t, kind=kind, fields=fields)
+        if len(self.events) < self.max_events:
+            self.events.append(ev)
+        else:
+            self.dropped += 1
+        for fn in self._subscribers.get(kind, ()):
+            fn(ev)
+        for fn in self._subscribers.get("*", ()):
+            fn(ev)
+        return ev
+
+    def on(self, kind: str, fn: Callable[[TelemetryEvent], None]) -> None:
+        """Subscribe ``fn`` to events of ``kind`` (``"*"`` = everything)."""
+        self._subscribers.setdefault(kind, []).append(fn)
+
+    def select(self, kind: str) -> list[TelemetryEvent]:
+        """Retained events of one kind, in emission order."""
+        return [ev for ev in self.events if ev.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Retained event count per kind."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -25,6 +25,8 @@ from repro.perception.gmapping import GMapping, GMappingConfig
 from repro.planning.frontier import FrontierExplorer
 from repro.planning.global_planner import GlobalPlanner
 from repro.sim.kernel import Simulator
+from repro.telemetry import Telemetry
+from repro.telemetry.instrument import instrument_workload
 from repro.vehicle.robot import LGV, RobotProfile
 from repro.workloads.navigation import EVAL_PROFILE
 from repro.workloads.pipeline import (
@@ -81,12 +83,14 @@ def build_exploration(
     scan_rate_hz: float = 5.0,
     wired_latency: dict[str, float] | None = None,
     profile: RobotProfile = EVAL_PROFILE,
+    telemetry: "Telemetry | None" = None,
 ) -> ExplorationWorkload:
     """Build a ready-to-run exploration workload.
 
     ``nominal_particles`` / ``nominal_samples`` drive the charged
     cycle costs (Figs. 9-10 knobs); the ``actual_*`` values size the
-    real algorithms for simulation wall-clock.
+    real algorithms for simulation wall-clock. Passing ``telemetry``
+    instruments the kernel, graph and host energy meters.
     """
     sim = Simulator()
     lgv = LGV(world, profile=profile, start=start, rng=np.random.default_rng(seed + 1))
@@ -134,6 +138,9 @@ def build_exploration(
     }
     for node in nodes.values():
         graph.add_node(node, lgv_host)
+
+    if telemetry is not None:
+        instrument_workload(telemetry, sim, graph, (lgv_host, gateway_host, cloud_host))
 
     return ExplorationWorkload(
         sim=sim,

@@ -25,7 +25,9 @@ from repro.perception.amcl import Amcl, AmclConfig
 from repro.perception.costmap import LayeredCostmap
 from repro.planning.global_planner import GlobalPlanner
 from repro.sim.kernel import Simulator
-from repro.vehicle.robot import LGV, RobotProfile, TURTLEBOT3_PROFILE
+from repro.telemetry import Telemetry
+from repro.telemetry.instrument import instrument_workload
+from repro.vehicle.robot import LGV, RobotProfile
 from repro.workloads.pipeline import (
     ActuatorDriver,
     CostmapGenNode,
@@ -77,15 +79,16 @@ def build_navigation(
     scan_rate_hz: float = 5.0,
     wired_latency: dict[str, float] | None = None,
     profile: RobotProfile = EVAL_PROFILE,
+    telemetry: Telemetry | None = None,
 ) -> NavigationWorkload:
     """Build a ready-to-run navigation workload.
 
     ``nominal_samples`` is the trajectory count the cost model charges
     (the paper's workload size); ``actual_samples`` is what the real
     DWA evaluates per tick, kept smaller for wall-clock tractability
-    without changing control quality.
+    without changing control quality. Passing ``telemetry`` instruments
+    the kernel, graph and host energy meters.
     """
-    rng = np.random.default_rng(seed)
     sim = Simulator()
     lgv = LGV(world, profile=profile, start=start, rng=np.random.default_rng(seed + 1))
 
@@ -124,6 +127,9 @@ def build_navigation(
     }
     for node in nodes.values():
         graph.add_node(node, lgv_host)
+
+    if telemetry is not None:
+        instrument_workload(telemetry, sim, graph, (lgv_host, gateway_host, cloud_host))
 
     # the user's mission goal, injected once at t=0+
     sim.schedule_after(

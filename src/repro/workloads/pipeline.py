@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compute.executor import DWA_PROFILE, SLAM_PROFILE
-from repro.control.dwa import DwaConfig, DwaPlanner, dwa_cycles
+from repro.control.dwa import DwaPlanner, dwa_cycles
 from repro.control.safety import SafetyController
 from repro.control.velocity_mux import VelocityMux, mux_cycles
 from repro.middleware.messages import (
@@ -39,13 +39,13 @@ from repro.middleware.messages import (
     TwistMsg,
 )
 from repro.middleware.node import Node
-from repro.perception.amcl import Amcl, AmclConfig, amcl_update_cycles
+from repro.perception.amcl import Amcl, amcl_update_cycles
 from repro.perception.costmap import (
     CostmapSnapshot,
     LayeredCostmap,
     costmap_update_cycles,
 )
-from repro.perception.gmapping import GMapping, GMappingConfig, gmapping_scan_cycles
+from repro.perception.gmapping import GMapping, gmapping_scan_cycles
 from repro.planning.frontier import FrontierExplorer, exploration_cycles
 from repro.planning.global_planner import GlobalPlanner, plan_cycles
 from repro.vehicle.robot import LGV

@@ -1,6 +1,5 @@
 """Tests for the paper's core: model, ECN/VDP, Algorithms 1 & 2, framework parts."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import Series, Table, ascii_series, format_seconds, format_si
-from repro.datasets import ScanSequence, intel_lab_sequence, record_sequence
+from repro.datasets import intel_lab_sequence, record_sequence
 from repro.world import Pose2D, box_world
 
 
@@ -16,7 +16,6 @@ class TestSequences:
 
     def test_robot_actually_moves(self):
         seq = record_sequence(box_world(8.0), Pose2D(2, 2, 0.3), n_scans=20, seed=2)
-        d = seq.poses[0].distance_to(seq.poses[-1])
         total = sum(
             a.distance_to(b) for a, b in zip(seq.poses, seq.poses[1:])
         )

@@ -4,7 +4,6 @@ These are the fast shape checks; the full regeneration with mission
 matrices lives in benchmarks/.
 """
 
-import math
 
 import numpy as np
 import pytest

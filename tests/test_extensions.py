@@ -1,10 +1,8 @@
 """Tests for the §IX/§X extensions: DVFS, GA planner, multi-WAP, vision, fleet."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.compute.platform import CLOUD_SERVER, EDGE_GATEWAY
 from repro.extensions import (

@@ -6,13 +6,11 @@ adaptive framework must keep the vehicle alive (degrade, never
 crash), which is the paper's robustness thesis.
 """
 
-import numpy as np
-import pytest
 
-from repro.core import FrameworkConfig, OffloadingFramework
-from repro.experiments._missions import DEPLOYMENTS, NAV_CYCLES, launch_navigation
+from repro.core import FrameworkConfig
+from repro.experiments._missions import DEPLOYMENTS, launch_navigation
 from repro.middleware import Graph, InstantTransport, Node, TwistMsg
-from repro.compute import EDGE_GATEWAY, Host, TURTLEBOT3_PI
+from repro.compute import Host, TURTLEBOT3_PI
 from repro.sim import Simulator
 from repro.workloads import MissionRunner, build_navigation
 from repro.world import Pose2D, box_world
@@ -30,7 +28,6 @@ class TestNetworkDeathMidMission:
             server_threads=8,
             enable_realtime_adjustment=adaptive,
         )
-        orig_quality = type(w.fabric.link).state
 
         def kill_link():
             # collapse the radio: every packet from now on is lost

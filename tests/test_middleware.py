@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.compute import CLOUD_SERVER, EDGE_GATEWAY, Host, TURTLEBOT3_PI
+from repro.compute import EDGE_GATEWAY, Host, TURTLEBOT3_PI
 from repro.middleware import (
     Graph,
     InstantTransport,
     KeepLast,
-    Message,
     Node,
     TwistMsg,
     serialized_size,
@@ -117,7 +116,7 @@ class TestGraphBasics:
     def test_processing_delay_from_cycles(self):
         sim, graph, lgv, _ = make_graph()
         cycles = TURTLEBOT3_PI.freq_hz * 0.05  # 50 ms of work
-        w = graph.add_node(Worker(cycles=cycles), lgv)
+        graph.add_node(Worker(cycles=cycles), lgv)
         s = graph.add_node(Sink(), lgv)
         graph.inject("data", TwistMsg(), lgv)
         sim.run()
@@ -304,7 +303,7 @@ class TestMigration:
     def test_processing_speeds_up_after_migration(self):
         sim, graph, lgv, gw = make_graph()
         cycles = 1.4e9 * 0.1  # 100 ms on the Pi
-        w = graph.add_node(Worker(cycles=cycles), lgv)
+        graph.add_node(Worker(cycles=cycles), lgv)
         s = graph.add_node(Sink(), lgv)
         graph.inject("data", TwistMsg(), lgv)
         sim.run()
@@ -338,7 +337,7 @@ class TestCrossHostServices:
 
         graph.add_node(Srv("srv"), gw)
         c = graph.add_node(Client("client"), lgv)
-        out = graph.add_node(Sink(topic="never"), lgv)  # keep graph alive
+        graph.add_node(Sink(topic="never"), lgv)  # keep graph alive
         graph.inject("data", TwistMsg(), lgv)
         sim.run()
         assert c.answers == [2]

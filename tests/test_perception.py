@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.perception import (
     Amcl,
@@ -16,7 +15,7 @@ from repro.perception import (
     costmap_update_cycles,
 )
 from repro.perception.amcl import amcl_update_cycles
-from repro.perception.costmap import CostmapSnapshot, InflationConfig
+from repro.perception.costmap import CostmapSnapshot
 from repro.perception.gmapping import gmapping_scan_cycles
 from repro.sim.rng import seeded_rng
 from repro.vehicle import LGV

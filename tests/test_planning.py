@@ -16,7 +16,6 @@ from repro.planning import (
     plan_cycles,
 )
 from repro.planning.search import path_length
-from repro.sim.rng import seeded_rng
 from repro.world import CellState, OccupancyGrid, Pose2D, box_world, open_world
 
 

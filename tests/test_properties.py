@@ -6,13 +6,12 @@ monotonicity (costs, velocities), determinism, and equivalence of the
 serial and parallel implementations on arbitrary inputs.
 """
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.compute.executor import DWA_PROFILE, ExecutionModel, SLAM_PROFILE
+from repro.compute.executor import ExecutionModel, SLAM_PROFILE
 from repro.compute.platform import CLOUD_SERVER, EDGE_GATEWAY, TURTLEBOT3_PI
 from repro.control.velocity_law import max_velocity_oa
 from repro.core.bottleneck import classify_nodes, NodeClass
@@ -20,10 +19,10 @@ from repro.core.model import energy_compute, energy_motor, energy_transmission
 from repro.network.link import WirelessLink
 from repro.network.signal import PathLossModel, WapSite, link_quality, phy_rate
 from repro.network.udp import UdpChannel
-from repro.sim import EventQueue, Simulator
+from repro.sim import Simulator
 from repro.sim.rng import seeded_rng
 from repro.vehicle.kinematics import DiffDriveState, step_diff_drive
-from repro.world.geometry import Pose2D, angle_diff, normalize_angle
+from repro.world.geometry import Pose2D, angle_diff
 
 
 class TestConservation:

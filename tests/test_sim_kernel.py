@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import Event, EventQueue, SimClock, Simulator
+from repro.sim import EventQueue, SimClock, Simulator
 from repro.sim.rng import seeded_rng, split_rng
 
 
@@ -206,13 +206,70 @@ class TestProcess:
         sim.run(until=100.0)
         assert holder["p"].fire_count == 3
 
-    def test_set_period(self):
+    def test_set_period_reschedules_pending(self):
+        # shrinking at t=2.1 moves the pending firing (was 3.0) to
+        # max(now, last_firing + period) = max(2.1, 2.0 + 0.5) = 2.5
         sim = Simulator()
         times = []
         proc = sim.every(1.0, lambda: times.append(sim.now()))
         sim.schedule_at(2.1, lambda: proc.set_period(0.5))
         sim.run(until=4.0)
-        assert times == [1.0, 2.0, 3.0, 3.5, 4.0]
+        assert times == [1.0, 2.0, 2.5, 3.0, 3.5, 4.0]
+
+    def test_set_period_grow_defers_pending(self):
+        sim = Simulator()
+        times = []
+        proc = sim.every(1.0, lambda: times.append(sim.now()))
+        sim.schedule_at(2.1, lambda: proc.set_period(2.0))
+        sim.run(until=7.0)
+        assert times == [1.0, 2.0, 4.0, 6.0]
+
+    def test_set_period_never_schedules_in_past(self):
+        # last firing 2.0 + new period 0.5 = 2.5 < now (2.7): fires at now
+        sim = Simulator()
+        times = []
+        proc = sim.every(1.0, lambda: times.append(sim.now()))
+        sim.schedule_at(2.7, lambda: proc.set_period(0.5))
+        sim.run(until=3.4)
+        assert times == [1.0, 2.0, 2.7, 3.2]
+
+    def test_fire_now(self):
+        sim = Simulator()
+        times = []
+        proc = sim.every(1.0, lambda: times.append(sim.now()))
+        sim.schedule_at(2.5, proc.fire_now)
+        sim.run(until=5.0)
+        # period restarts from the forced firing at 2.5
+        assert times == [1.0, 2.0, 2.5, 3.5, 4.5]
+        assert proc.fire_count == 5
+
+    def test_fire_now_on_stopped_process_raises(self):
+        sim = Simulator()
+        proc = sim.every(1.0, lambda: None)
+        proc.stop()
+        with pytest.raises(RuntimeError):
+            proc.fire_now()
+
+    def test_queue_depth(self):
+        sim = Simulator()
+        assert sim.queue_depth == 0
+        e1 = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.queue_depth == 2
+        sim.cancel(e1)
+        assert sim.queue_depth == 1
+        sim.run()
+        assert sim.queue_depth == 0
+
+    def test_max_events_counts_off_processed_total(self):
+        # run(max_events=N) counts new firings even after a prior run
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+        sim.run(max_events=3)
+        assert sim.events_processed == 6
 
     def test_invalid_period_raises(self):
         sim = Simulator()

@@ -13,10 +13,9 @@ from repro.vehicle import (
     PIONEER3DX_POWER,
     TURTLEBOT2_POWER,
     TURTLEBOT3_POWER,
-    TURTLEBOT3_PROFILE,
     step_diff_drive,
 )
-from repro.world import CellState, Pose2D, box_world, open_world
+from repro.world import Pose2D, box_world, open_world
 
 
 class TestKinematics:
@@ -211,7 +210,6 @@ class TestLGV:
     def test_scan_sees_world(self):
         bot = LGV(box_world(10.0), start=Pose2D(3.0, 5.0, 0.0))
         scan = bot.scan()
-        idx = int(len(scan.ranges) // 2)  # angle ~0 beam is at index 180
         import numpy as np
 
         i0 = int(np.argmin(np.abs(scan.angles)))

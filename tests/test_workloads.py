@@ -3,16 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core import FrameworkConfig, OffloadingFramework, OffloadingGoal
+from repro.core import FrameworkConfig, OffloadingGoal
 from repro.experiments._missions import (
     DEPLOYMENTS,
-    EXP_CYCLES,
-    NAV_CYCLES,
     launch_exploration,
     launch_navigation,
 )
-from repro.workloads import MissionRunner, build_exploration, build_navigation
-from repro.world import Pose2D, box_world
 
 
 @pytest.fixture(scope="module")
