@@ -24,6 +24,7 @@ from typing import Callable, Optional
 
 from repro.experiments import (
     run_ablation_migration_granularity,
+    run_chaos,
     run_fig7,
     run_ablation_netqual_metric,
     run_ablation_velocity_adaptation,
@@ -52,6 +53,7 @@ ARTIFACTS: dict[str, tuple[Callable[..., object], str]] = {
     "fig12": (run_fig12, "max velocity under five deployments (~30 s)"),
     "fig13": (run_fig13, "end-to-end energy & time matrix (slow, ~3 min)"),
     "fig14": (run_fig14, "max-vs-real velocity gap"),
+    "chaos": (run_chaos, "single-fault chaos matrix, adaptive vs static (~4 min)"),
     "ablation-netqual": (run_ablation_netqual_metric, "Algorithm 2 vs latency threshold"),
     "ablation-granularity": (run_ablation_migration_granularity, "fine-grained vs whole offload"),
     "ablation-velocity": (run_ablation_velocity_adaptation, "Eq. 2c on/off"),

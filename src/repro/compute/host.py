@@ -32,6 +32,13 @@ class Host:
         self.on_robot = on_robot
         self.exec_model = ExecutionModel(platform)
         self.energy = ComputeEnergyMeter(platform)
+        #: Fault-injection state (repro.faults). ``up=False`` models a
+        #: crashed server: the fabric refuses datagrams to/from it and
+        #: its nodes are paused. ``derate > 1`` models a thermally /
+        #: contention-throttled CPU: every execution takes ``derate``
+        #: times longer (a frequency derate).
+        self.up: bool = True
+        self.derate: float = 1.0
 
     def exec_time(
         self,
@@ -40,7 +47,10 @@ class Host:
         profile: ParallelProfile = SERIAL_PROFILE,
     ) -> float:
         """Virtual seconds this host needs for ``cycles`` with ``threads``."""
-        return self.exec_model.exec_time(cycles, threads, profile)
+        t = self.exec_model.exec_time(cycles, threads, profile)
+        if self.derate != 1.0:
+            t *= self.derate
+        return t
 
     def account(self, node: str, cycles: float, busy_seconds: float) -> float:
         """Record one execution into the energy meter; returns energy (J)."""

@@ -118,8 +118,22 @@ class DwaPlanner:
             err = normalize_angle(float(bearing) - pose.theta)
             return DwaResult(0.0, float(np.clip(2.0 * err, -w_limit, w_limit)),
                              -np.inf, 0, stuck=True)
-        return DwaResult(float(traj.v[best]), float(traj.w[best]),
-                         float(scores[best]), n_valid)
+        v_best = float(traj.v[best])
+        w_best = float(traj.w[best])
+        if abs(v_best) < 1e-3 and abs(w_best) < 0.1:
+            # the winner is "do nothing" — a scoring local minimum when
+            # the robot is parked facing away from the path (rotation
+            # earns no progress but pays the turn penalty, so standing
+            # still outranks turning, forever). Standing still can never
+            # change the scores, so this is a deadlock: escape by
+            # rotating toward the path, like the all-colliding branch.
+            bearing = np.arctan2(self._target[1] - pose.y,
+                                 self._target[0] - pose.x)
+            err = normalize_angle(float(bearing) - pose.theta)
+            if abs(err) > cfg.yaw_tolerance_rad:
+                return DwaResult(0.0, float(np.clip(2.0 * err, -w_limit, w_limit)),
+                                 float(scores[best]), n_valid, stuck=True)
+        return DwaResult(v_best, w_best, float(scores[best]), n_valid)
 
     def _lookahead(self, pose: Pose2D, dist: float = 0.7) -> np.ndarray:
         """Path point ~``dist`` ahead of the closest path point."""

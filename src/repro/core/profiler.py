@@ -86,7 +86,7 @@ class Profiler:
         self.server_host = server_host
         self.vdp_nodes = vdp_nodes
         self.node_profiles: dict[str, NodeProfile] = {}
-        self.bandwidth = BandwidthMonitor(bandwidth_window_s)
+        self.bandwidth = BandwidthMonitor(bandwidth_window_s, t0=graph.sim.now())
         self.rtt = RttMonitor()
         self.direction = SignalDirectionEstimator(wap_xy)
         self.vdp_history: list[VdpSample] = []

@@ -74,6 +74,10 @@ class Switcher:
         if node is None:
             return 0.0
         if node.host is dest:
+            # No move, but the thread-width config still applies: a
+            # changed ``server_threads`` entry must reach nodes already
+            # sitting on the server (previously silently skipped).
+            node.threads = self.server_threads.get(name, 1) if dest is self.server_host else 1
             return 0.0
         pause = self.graph.move_node(name, dest, reason=reason)
         if dest is self.server_host:

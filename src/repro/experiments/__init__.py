@@ -21,8 +21,10 @@ from repro.experiments.ablations import (
     run_ablation_netqual_metric,
     run_ablation_velocity_adaptation,
 )
+from repro.experiments.chaos import run_chaos
 
 __all__ = [
+    "run_chaos",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -1,0 +1,34 @@
+"""Declarative, deterministic fault injection (the robustness layer).
+
+Build a :class:`FaultPlan` from typed faults, arm it against a
+workload with :class:`FaultInjector`, and run: every fault fires as an
+ordinary simulator event at an exact virtual time. See docs/faults.md.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    Fault,
+    FaultPlan,
+    LinkDegradation,
+    LinkOutage,
+    MigrationInterrupt,
+    PacketMangling,
+    ServerCrash,
+    ServerSlowdown,
+    WapDeath,
+    WindowFault,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "LinkOutage",
+    "MigrationInterrupt",
+    "PacketMangling",
+    "ServerCrash",
+    "ServerSlowdown",
+    "WapDeath",
+    "WindowFault",
+]

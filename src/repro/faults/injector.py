@@ -1,0 +1,335 @@
+"""The fault injector: turns a :class:`FaultPlan` into simulator events.
+
+``arm()`` walks the plan and schedules one injection event per fault
+(plus a clearing event for finite windows) on the workload's own
+simulator. Faults whose start time has already passed are applied
+immediately — this matters for :class:`MigrationInterrupt` at t=0,
+because the framework performs its initial migrations synchronously
+before the event loop starts.
+
+Every phase change is recorded in :attr:`FaultInjector.log` and, when
+a telemetry object is available, emitted as ``fault_injected`` /
+``fault_cleared`` events on the ``"faults"`` track — so traces show
+exactly when the world turned hostile.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.compute.host import Host
+from repro.faults.plan import (
+    Fault,
+    FaultPlan,
+    LinkDegradation,
+    LinkOutage,
+    MigrationInterrupt,
+    PacketMangling,
+    ServerCrash,
+    ServerSlowdown,
+    WapDeath,
+)
+from repro.middleware.graph import Graph
+from repro.network.fabric import NetworkFabric
+from repro.network.link import WirelessLink
+from repro.network.udp import ChannelFault
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against one concrete workload.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose event queue carries the fault events.
+    plan:
+        The declarative plan to realize.
+    link, fabric, graph:
+        The network/middleware objects carrying the injection points.
+    lgv_host:
+        The robot's host (wireless-hop detection for migration faults).
+    server_hosts:
+        Every offload target; ``host=None`` faults apply to all of them.
+    telemetry:
+        Optional event sink; defaults to ``sim.telemetry``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: FaultPlan,
+        *,
+        link: WirelessLink,
+        fabric: NetworkFabric,
+        graph: Graph,
+        lgv_host: Host,
+        server_hosts: tuple[Host, ...],
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.link = link
+        self.fabric = fabric
+        self.graph = graph
+        self.lgv_host = lgv_host
+        self.server_hosts = tuple(server_hosts)
+        self.telemetry = telemetry if telemetry is not None else sim.telemetry
+        #: Phase changes as ``(virtual_time, phase, fault_kind)`` with
+        #: phase in {"injected", "cleared"}.
+        self.log: list[tuple[float, str, str]] = []
+        self._armed = False
+
+    @classmethod
+    def for_workload(
+        cls, plan: FaultPlan, workload, telemetry: "Telemetry | None" = None
+    ) -> "FaultInjector":
+        """Build an injector wired to a navigation-style workload.
+
+        ``workload`` must expose ``sim``, ``fabric``, ``graph``,
+        ``lgv_host``, ``gateway_host`` and ``cloud_host`` (the
+        :class:`~repro.workloads.navigation.NavigationWorkload` shape).
+        """
+        return cls(
+            workload.sim,
+            plan,
+            link=workload.fabric.link,
+            fabric=workload.fabric,
+            graph=workload.graph,
+            lgv_host=workload.lgv_host,
+            server_hosts=(workload.gateway_host, workload.cloud_host),
+            telemetry=telemetry,
+        )
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        """Schedule every fault in the plan; returns ``self``.
+
+        Injections (and clears) whose time is already past are applied
+        immediately, in plan order. Idempotence is not attempted:
+        arming twice doubles the faults.
+        """
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for f in self.plan:
+            apply, clear = self._handlers(f)
+            self._at(f.start, apply, f"fault:{f.kind}")
+            end = getattr(f, "end", None)
+            if clear is not None and end is not None and end != float("inf"):
+                self._at(end, clear, f"fault:{f.kind}:clear")
+        return self
+
+    def _at(self, t: float, callback, label: str) -> None:
+        if t <= self.sim.now():
+            callback()
+        else:
+            self.sim.schedule_at(t, callback, label=label)
+
+    def _handlers(self, f: Fault):
+        """(apply, clear) callbacks for one fault."""
+        if isinstance(f, LinkOutage):
+            return self._link_outage(f)
+        if isinstance(f, LinkDegradation):
+            return self._link_degradation(f)
+        if isinstance(f, WapDeath):
+            return self._wap_death(f)
+        if isinstance(f, ServerSlowdown):
+            return self._server_slowdown(f)
+        if isinstance(f, ServerCrash):
+            return self._server_crash(f)
+        if isinstance(f, PacketMangling):
+            return self._packet_mangling(f)
+        if isinstance(f, MigrationInterrupt):
+            return self._migration_interrupt(f)
+        raise TypeError(f"no handler for fault {f!r}")
+
+    # ------------------------------------------------------------------
+    # Per-fault semantics
+    # ------------------------------------------------------------------
+    def _link_outage(self, f: LinkOutage):
+        def apply() -> None:
+            self.fabric.uplink.fault_blocked = True
+            self.fabric.downlink.fault_blocked = True
+            self._emit("injected", f, duration=f.duration)
+
+        def clear() -> None:
+            self.fabric.uplink.fault_blocked = False
+            self.fabric.downlink.fault_blocked = False
+            # link-recovery event: drain packets held during the outage
+            self.fabric.flush_held(self.sim.now())
+            self._emit("cleared", f)
+
+        return apply, clear
+
+    def _link_degradation(self, f: LinkDegradation):
+        def apply() -> None:
+            self.link.fault_rssi_offset_db += f.rssi_offset_db
+            self._emit(
+                "injected", f, rssi_offset_db=f.rssi_offset_db, duration=f.duration
+            )
+
+        def clear() -> None:
+            self.link.fault_rssi_offset_db -= f.rssi_offset_db
+            self.fabric.flush_held(self.sim.now())
+            self._emit("cleared", f)
+
+        return apply, clear
+
+    def _wap_death(self, f: WapDeath):
+        def apply() -> None:
+            self.link.fault_blocked = True
+            self._emit("injected", f)
+
+        return apply, None
+
+    def _server_slowdown(self, f: ServerSlowdown):
+        hosts = self._target_hosts(f.host)
+
+        def apply() -> None:
+            for h in hosts:
+                h.derate *= f.factor
+            self._emit(
+                "injected",
+                f,
+                hosts=[h.name for h in hosts],
+                factor=f.factor,
+                duration=f.duration,
+            )
+
+        def clear() -> None:
+            for h in hosts:
+                h.derate /= f.factor
+            self._emit("cleared", f, hosts=[h.name for h in hosts])
+
+        return apply, clear
+
+    def _server_crash(self, f: ServerCrash):
+        hosts = self._target_hosts(f.host)
+        frozen: list[str] = []
+
+        def apply() -> None:
+            for h in hosts:
+                h.up = False
+                for name, node in self.graph.nodes.items():
+                    if node.host is h and not node._paused:
+                        self.graph.pause_node(name)
+                        frozen.append(name)
+            self._emit(
+                "injected",
+                f,
+                hosts=[h.name for h in hosts],
+                restart_after=f.restart_after,
+            )
+
+        def restart() -> None:
+            for h in hosts:
+                h.up = True
+            for name in frozen:
+                node = self.graph.nodes.get(name)
+                # resume only what we froze and what is still stranded
+                # there — the framework may have rescued it meanwhile
+                if node is not None and node._paused and node.host in hosts:
+                    self.graph.resume_node(name)
+            frozen.clear()
+            self._emit("cleared", f, hosts=[h.name for h in hosts])
+
+        if f.restart_after != float("inf"):
+            orig_apply = apply
+
+            def apply_with_restart() -> None:
+                orig_apply()
+                self.sim.schedule_after(
+                    f.restart_after, restart, label=f"fault:{f.kind}:restart"
+                )
+
+            return apply_with_restart, None
+        return apply, None
+
+    def _packet_mangling(self, f: PacketMangling):
+        def apply() -> None:
+            self.fabric.uplink.fault = ChannelFault(
+                rng=np.random.default_rng(f.seed),
+                drop_p=f.drop_p,
+                corrupt_p=f.corrupt_p,
+                duplicate_p=f.duplicate_p,
+            )
+            self.fabric.downlink.fault = ChannelFault(
+                rng=np.random.default_rng(f.seed + 1),
+                drop_p=f.drop_p,
+                corrupt_p=f.corrupt_p,
+                duplicate_p=f.duplicate_p,
+            )
+            self._emit(
+                "injected",
+                f,
+                drop_p=f.drop_p,
+                corrupt_p=f.corrupt_p,
+                duplicate_p=f.duplicate_p,
+                duration=f.duration,
+            )
+
+        def clear() -> None:
+            self.fabric.uplink.fault = None
+            self.fabric.downlink.fault = None
+            self._emit("cleared", f)
+
+        return apply, clear
+
+    def _migration_interrupt(self, f: MigrationInterrupt):
+        def hook(
+            old_host: Host, new_host: Host, pause: float, state_bytes: int, now: float
+        ) -> float:
+            if old_host.on_robot == new_host.on_robot or pause <= 0:
+                return 0.0  # wired/local transfer: not our target
+            if self.graph.migration_fault is hook:
+                self.graph.migration_fault = None  # one-shot
+            extra = f.at_fraction * pause + self.fabric.rtt(
+                old_host, new_host, 64, now
+            )
+            self._emit(
+                "injected",
+                f,
+                at_fraction=f.at_fraction,
+                lost_s=f.at_fraction * pause,
+                extra_s=extra,
+                state_bytes=state_bytes,
+            )
+            return extra
+
+        def apply() -> None:
+            self.graph.migration_fault = hook
+
+        return apply, None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _target_hosts(self, name: str | None) -> tuple[Host, ...]:
+        if name is None:
+            return self.server_hosts
+        matches = tuple(h for h in self.server_hosts if h.name == name)
+        if not matches:
+            known = [h.name for h in self.server_hosts]
+            raise ValueError(f"unknown server host {name!r}; have {known}")
+        return matches
+
+    def _emit(self, phase: str, fault: Fault, **fields) -> None:
+        now = self.sim.now()
+        self.log.append((now, phase, fault.kind))
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                f"fault_{phase}",
+                t=now,
+                track="faults",
+                kind=fault.kind,
+                start=fault.start,
+                **fields,
+            )

@@ -1,0 +1,237 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an immutable list of typed faults, each with a
+start time (and, for window faults, a duration). Plans are pure data:
+nothing happens until a :class:`~repro.faults.injector.FaultInjector`
+arms the plan against a concrete workload, at which point every fault
+becomes ordinary simulator events — injected and cleared at exact
+virtual times, so a faulted run is as deterministic and replayable as
+a clean one. An empty plan schedules nothing and consumes no
+randomness: experiments without faults are bit-identical to a build
+without this module.
+
+Taxonomy (see docs/faults.md):
+
+========================  ==================================================
+fault                     models
+========================  ==================================================
+:class:`LinkOutage`       data-plane radio outage: the UDP driver blocks
+                          (Fig. 7 semantics) while the TCP control plane
+                          still limps through — latency probes stay
+                          deceptively healthy, exactly the pathology §VI
+                          argues Algorithm 2 must survive.
+:class:`LinkDegradation`  an interference window: additive RSSI penalty,
+                          degrading quality/rate without killing the link.
+:class:`WapDeath`         the access point dies: the whole radio — data
+                          *and* control plane — goes dark, permanently.
+:class:`ServerSlowdown`   frequency derate on a server (thermal throttle,
+                          noisy neighbor): every execution takes
+                          ``factor`` times longer.
+:class:`ServerCrash`      the server process dies (optionally restarting
+                          later): its nodes freeze and the fabric drops
+                          datagrams to/from it.
+:class:`PacketMangling`   transport gremlins: per-packet drop / duplicate
+                          / corrupt probabilities on both UDP directions.
+:class:`MigrationInterrupt`  a state transfer over the wireless hop is cut
+                          mid-flight and must restart: one migration pays
+                          the lost fraction plus a control-plane round
+                          trip.
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: something goes wrong at virtual time ``start``."""
+
+    start: float = 0.0
+
+    #: snake_case tag used in telemetry and logs.
+    kind = "fault"
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+
+
+@dataclass(frozen=True)
+class WindowFault(Fault):
+    """A fault active over ``[start, start + duration)``.
+
+    The default duration is infinite — a permanent fault that never
+    clears.
+    """
+
+    duration: float = math.inf
+
+    kind = "window_fault"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"fault duration must be > 0, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        """Absolute clear time (inf for permanent faults)."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class LinkOutage(WindowFault):
+    """Data-plane radio outage: UDP blocks, TCP control still works.
+
+    This reproduces the paper's worst case — the driver holds/discards
+    datagrams while small reliable control messages (the RTT probes)
+    eventually get through, so latency statistics keep looking fine
+    as the robot is starved of velocity commands.
+    """
+
+    kind = "link_outage"
+
+
+@dataclass(frozen=True)
+class LinkDegradation(WindowFault):
+    """Interference window: additive RSSI penalty in dB (negative)."""
+
+    rssi_offset_db: float = -14.0
+
+    kind = "link_degradation"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rssi_offset_db >= 0:
+            raise ValueError(
+                f"rssi_offset_db must be negative, got {self.rssi_offset_db}"
+            )
+
+
+@dataclass(frozen=True)
+class WapDeath(Fault):
+    """The access point dies permanently: all radio traffic stops.
+
+    Unlike :class:`LinkOutage` this also kills the control plane, so
+    reliable sends burn their full retransmission budget — RTT becomes
+    *honestly* terrible rather than deceptively healthy.
+    """
+
+    kind = "wap_death"
+
+
+@dataclass(frozen=True)
+class ServerSlowdown(WindowFault):
+    """Frequency derate on a server host: executions take ``factor``×.
+
+    ``host=None`` applies to every server host the injector knows.
+    """
+
+    factor: float = 4.0
+    host: str | None = None
+
+    kind = "server_slowdown"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 1.0:
+            raise ValueError(f"slowdown factor must be > 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class ServerCrash(Fault):
+    """A server host crashes at ``start``; optionally restarts later.
+
+    While down the fabric refuses its datagrams and its resident nodes
+    are frozen. On restart the nodes still placed there resume with
+    their state intact (a warm restart). ``restart_after=inf`` (the
+    default) means it never comes back.
+    """
+
+    restart_after: float = math.inf
+    host: str | None = None
+
+    kind = "server_crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.restart_after <= 0:
+            raise ValueError(
+                f"restart_after must be > 0, got {self.restart_after}"
+            )
+
+
+@dataclass(frozen=True)
+class PacketMangling(WindowFault):
+    """Per-packet transport gremlins on both UDP directions.
+
+    Each healthy send is independently dropped / corrupted /
+    duplicated with the given probabilities (summing to <= 1). The
+    draws come from a dedicated seeded generator so the link's own
+    randomness — and every unfaulted run — is untouched.
+    """
+
+    drop_p: float = 0.0
+    corrupt_p: float = 0.0
+    duplicate_p: float = 0.0
+    seed: int = 0
+
+    kind = "packet_mangling"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("drop_p", "corrupt_p", "duplicate_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.drop_p + self.corrupt_p + self.duplicate_p > 1.0:
+            raise ValueError("drop_p + corrupt_p + duplicate_p must be <= 1")
+
+
+@dataclass(frozen=True)
+class MigrationInterrupt(Fault):
+    """The next wireless-hop state transfer after ``start`` is cut.
+
+    The transfer loses ``at_fraction`` of its progress and restarts
+    after a control-plane round trip — the node's pause grows by that
+    much. One-shot: only the first qualifying migration is hit.
+    """
+
+    at_fraction: float = 0.5
+
+    kind = "migration_interrupt"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ValueError(
+                f"at_fraction must be in (0, 1), got {self.at_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered collection of faults.
+
+    The empty plan is the identity: arming it schedules nothing and
+    leaves every experiment bit-identical to an unfaulted run.
+    """
+
+    faults: tuple[Fault, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if not isinstance(f, Fault):
+                raise TypeError(f"not a Fault: {f!r}")
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)

@@ -86,6 +86,13 @@ class Graph:
         self._processed_hooks: list[ProcessedHook] = []
         self._publish_hooks: list[Callable[[Node, str, Message], None]] = []
         self.migrations: list[tuple[float, str, str, str]] = []
+        #: Fault-injection hook (repro.faults). When set, each state
+        #: transfer calls ``migration_fault(old_host, new_host, pause,
+        #: state_bytes, now)`` and adds the returned extra pause — the
+        #: cost of an interrupted transfer being restarted.
+        self.migration_fault: (
+            Callable[[Host, Host, float, int, float], float] | None
+        ) = None
         self.telemetry: "Telemetry | None" = None
         self._tel: "GraphInstruments | None" = None
         if telemetry is not None:
@@ -245,6 +252,10 @@ class Graph:
             pause = latency if latency is not None else self.transport.rtt(
                 old_host, new_host, state_bytes, self.sim.now()
             )
+            if self.migration_fault is not None:
+                pause += self.migration_fault(
+                    old_host, new_host, pause, state_bytes, self.sim.now()
+                )
         self._record_migration(name, old_host, new_host, pause, state_bytes, reason)
         node._paused = True
         node.host = new_host
@@ -258,6 +269,20 @@ class Graph:
         else:
             resume()
         return pause
+
+    def pause_node(self, name: str) -> None:
+        """Freeze a node in place: it drops input until resumed.
+
+        Models a crashed or unreachable process (repro.faults uses it
+        for server-crash containment); the node keeps its state.
+        """
+        self.nodes[name]._paused = True
+
+    def resume_node(self, name: str) -> None:
+        """Un-freeze a paused node and drain any queued work."""
+        node = self.nodes[name]
+        node._paused = False
+        node._try_process()
 
     # ------------------------------------------------------------------
     # Observability

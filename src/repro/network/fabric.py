@@ -55,13 +55,16 @@ class NetworkFabric:
             return 0.0
         if src.on_robot and dst.on_robot:
             return 0.0
+        if not src.up or not dst.up:
+            # A crashed endpoint neither sends nor receives datagrams.
+            return None
         if not src.on_robot and not dst.on_robot:
             return self._wired(src.name) + self._wired(dst.name)
         if src.on_robot:
             # Uplink: pay radio energy for anything the driver transmits.
             st = self.link.state()
             latency = self.uplink.send(n_bytes, now)
-            if self.energy_sink is not None and st.quality >= self.uplink.block_quality:
+            if self.energy_sink is not None and self.uplink.transmitting(st):
                 self.energy_sink(self.link.tx_energy(n_bytes, st))
             if latency is None:
                 return None
@@ -82,13 +85,27 @@ class NetworkFabric:
         """Latency for a retransmitted-until-delivered transfer."""
         if src is dst or (src.on_robot and dst.on_robot):
             return 0.0
+        if not src.up or not dst.up:
+            # Reliable transfer to/from a dead host: the sender burns
+            # its full retransmission budget before giving up.
+            return self.control.rto_s * 64
         if not src.on_robot and not dst.on_robot:
             return self._wired(src.name) + self._wired(dst.name)
-        air = self.control.send(n_bytes, now)
+        air = self.control.send(n_bytes, now)  # wireless hop
         if src.on_robot and self.energy_sink is not None:
             self.energy_sink(self.link.tx_energy(n_bytes))
         other = dst if src.on_robot else src
         return air + self._wired(other.name)
+
+    def flush_held(self, now: float) -> int:
+        """Drain kernel-held packets after a link recovery; returns count.
+
+        Fault-clearing events call this so packets stuck during an
+        outage window go out when the radio comes back, rather than
+        waiting for the next application send (satellite fix to the
+        Fig. 7 model).
+        """
+        return self.uplink.flush(now) + self.downlink.flush(now)
 
     def _wired(self, host_name: str) -> float:
         return self.wired_latency.get(host_name, 0.0)

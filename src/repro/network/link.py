@@ -56,11 +56,28 @@ class WirelessLink:
     base_latency_s: float = 0.002
     jitter_s: float = 0.001
     tx_power_w: float = 1.2
+    #: Fault-injection state, driven by :mod:`repro.faults`. When
+    #: ``fault_blocked`` the radio is dead — zero quality and rate,
+    #: control plane included (a WAP death). ``fault_rssi_offset_db``
+    #: is an additive RSSI penalty modelling interference/degradation
+    #: windows; 0 means no fault. Both default to the no-fault state so
+    #: unfaulted runs are bit-identical.
+    fault_blocked: bool = False
+    fault_rssi_offset_db: float = 0.0
 
     def state(self) -> LinkState:
         """Sample the current link condition at the robot's position."""
         x, y = self.position()
         rssi = self.wap.rssi_at(x, y, self.rng if self.wap.model.shadow_sigma_db > 0 else None)
+        if self.fault_rssi_offset_db:
+            rssi += self.fault_rssi_offset_db
+        if self.fault_blocked:
+            return LinkState(
+                rssi_dbm=-120.0,
+                quality=0.0,
+                rate_bps=0.0,
+                distance_m=self.wap.distance_to(x, y),
+            )
         return LinkState(
             rssi_dbm=rssi,
             quality=link_quality(rssi),

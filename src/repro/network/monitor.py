@@ -25,12 +25,18 @@ class BandwidthMonitor:
 
     ``record(t)`` marks one received message at virtual time ``t``;
     ``rate(now)`` returns messages/second over the trailing window.
+    ``t0`` is the time observation started: before a full window has
+    elapsed the denominator is clamped to the observable interval
+    ``now - t0``, so the early-mission rate is not diluted by window
+    time that never existed (which under-reported receive rate and
+    biased Algorithm 2 toward a spurious GO_LOCAL at start-up).
     """
 
-    def __init__(self, window_s: float = 1.0) -> None:
+    def __init__(self, window_s: float = 1.0, t0: float = 0.0) -> None:
         if window_s <= 0:
             raise ValueError(f"window must be positive, got {window_s}")
         self.window_s = window_s
+        self.t0 = t0
         self._times: deque[float] = deque()
         self.total = 0
 
@@ -42,11 +48,14 @@ class BandwidthMonitor:
         self.total += 1
 
     def rate(self, now: float) -> float:
-        """Arrivals per second over [now - window, now]."""
+        """Arrivals per second over [max(t0, now - window), now]."""
         cutoff = now - self.window_s
         while self._times and self._times[0] < cutoff:
             self._times.popleft()
-        return len(self._times) / self.window_s
+        observed = min(self.window_s, now - self.t0)
+        if observed <= 0.0:
+            return 0.0
+        return len(self._times) / observed
 
 
 class RttMonitor:

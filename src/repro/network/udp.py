@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.network.link import WirelessLink
+import numpy as np
+
+from repro.network.link import LinkState, WirelessLink
 
 
 @dataclass
@@ -26,6 +28,15 @@ class UdpStats:
     delivered: int = 0
     dropped_air: int = 0
     dropped_buffer: int = 0
+    #: Packets destroyed by an injected transport fault (repro.faults).
+    dropped_fault: int = 0
+    #: Packets whose payload an injected fault corrupted; a corrupt
+    #: datagram fails the receiver's checksum, so it counts as lost.
+    corrupted: int = 0
+    #: Packets an injected fault duplicated. The copy is absorbed by
+    #: the keep-last-1 QoS of every consumer, so duplication is
+    #: observable in stats but functionally idempotent.
+    duplicated: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
     latencies: list[float] = field(default_factory=list)
@@ -37,6 +48,34 @@ class UdpStats:
         if self.sent == 0:
             return 0.0
         return 1.0 - self.delivered / self.sent
+
+
+@dataclass
+class ChannelFault:
+    """Transport-level packet mangling, installed by :mod:`repro.faults`.
+
+    Each healthy send draws once from ``rng`` and is dropped,
+    corrupted or duplicated with the configured probabilities
+    (mutually exclusive outcomes; the probabilities must sum to at
+    most 1). The rng is owned by the fault so an unfaulted run never
+    consumes it — determinism of the underlying link is untouched.
+    """
+
+    rng: np.random.Generator
+    drop_p: float = 0.0
+    corrupt_p: float = 0.0
+    duplicate_p: float = 0.0
+
+    def sample(self) -> str | None:
+        """One fate draw: ``"drop"``/``"corrupt"``/``"duplicate"``/None."""
+        u = float(self.rng.random())
+        if u < self.drop_p:
+            return "drop"
+        if u < self.drop_p + self.corrupt_p:
+            return "corrupt"
+        if u < self.drop_p + self.corrupt_p + self.duplicate_p:
+            return "duplicate"
+        return None
 
 
 class UdpChannel:
@@ -69,6 +108,17 @@ class UdpChannel:
         self.block_quality = block_quality
         self.stats = UdpStats()
         self._kernel_buffer: list[tuple[float, int]] = []  # (enqueue_time, bytes)
+        #: Fault-injection state (repro.faults). ``fault_blocked``
+        #: forces the driver's weak-signal hold path regardless of the
+        #: real link quality — a data-plane outage that leaves the
+        #: control plane (and its latency statistics) deceptively
+        #: healthy. ``fault`` adds per-packet drop/corrupt/duplicate.
+        self.fault_blocked: bool = False
+        self.fault: ChannelFault | None = None
+
+    def transmitting(self, state: LinkState) -> bool:
+        """Whether the driver would put a packet on the air right now."""
+        return not self.fault_blocked and state.quality >= self.block_quality
 
     def send(self, n_bytes: int, now: float) -> float | None:
         """Attempt to send ``n_bytes`` at virtual time ``now``.
@@ -76,15 +126,17 @@ class UdpChannel:
         Returns the one-way latency for a delivered packet, ``None``
         for a drop (either a full kernel buffer or loss in the air).
         Held packets flush automatically on the next send that sees a
-        healthy signal; their (large) latencies are recorded in stats
-        but, having stale payloads, they do not resurrect old messages
-        — keep-last-1 consumers only ever want the newest datagram.
+        healthy signal — or from an explicit :meth:`flush` fired by a
+        link-recovery event; their (large) latencies are recorded in
+        stats but, having stale payloads, they do not resurrect old
+        messages — keep-last-1 consumers only ever want the newest
+        datagram.
         """
         st = self.link.state()
         self.stats.sent += 1
         self.stats.bytes_sent += n_bytes
 
-        if st.quality < self.block_quality:
+        if not self.transmitting(st):
             # Driver blocks: hold in kernel buffer; discard when full.
             if len(self._kernel_buffer) >= self.kernel_capacity:
                 self.stats.dropped_buffer += 1
@@ -97,29 +149,60 @@ class UdpChannel:
         # Healthy signal: flush anything the driver was holding first.
         self._flush_held(now, st)
 
+        if self.fault is not None:
+            fate = self.fault.sample()
+            if fate == "drop":
+                self.stats.dropped_fault += 1
+                return None
+            if fate == "corrupt":
+                self.stats.corrupted += 1
+                return None
+            if fate == "duplicate":
+                self.stats.duplicated += 1
+
         if not self.link.delivery_roll(st):
             self.stats.dropped_air += 1
             return None
         latency = self.link.packet_latency(n_bytes, st)
-        self._record_delivery(latency, now)
+        self._record_delivery(latency, now + latency)
         self.stats.bytes_delivered += n_bytes
         return latency
 
-    def _flush_held(self, now: float, st) -> None:
+    def flush(self, now: float) -> int:
+        """Flush held packets if the signal has recovered; returns count.
+
+        Wired to link-recovery events (fault windows clearing, WAP
+        handover) so held packets drain even when the sender has gone
+        quiet — previously they only flushed on the *next* send.
+        """
+        if not self._kernel_buffer:
+            return 0
+        st = self.link.state()
+        if not self.transmitting(st):
+            return 0
+        n = len(self._kernel_buffer)
+        self._flush_held(now, st)
+        return n
+
+    def _flush_held(self, now: float, st: LinkState) -> None:
         for enq_time, nb in self._kernel_buffer:
             if self.link.delivery_roll(st):
+                transit = self.link.packet_latency(nb, st)
+                # The latency *sample* spans enqueue -> arrival (the
+                # packet really did wait in the buffer), but the packet
+                # leaves the driver *now*, so it arrives at now +
+                # transit — the held interval must not be paid twice.
                 held = now - enq_time
-                latency = held + self.link.packet_latency(nb, st)
-                self._record_delivery(latency, now)
+                self._record_delivery(held + transit, now + transit)
                 self.stats.bytes_delivered += nb
             else:
                 self.stats.dropped_air += 1
         self._kernel_buffer.clear()
 
-    def _record_delivery(self, latency: float, now: float) -> None:
+    def _record_delivery(self, latency: float, arrival_time: float) -> None:
         self.stats.delivered += 1
         self.stats.latencies.append(latency)
-        self.stats.delivery_times.append(now + latency)
+        self.stats.delivery_times.append(arrival_time)
 
     @property
     def held_packets(self) -> int:

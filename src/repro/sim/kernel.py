@@ -67,13 +67,17 @@ class Simulator:
         callback: Callable[[], Any],
         label: str = "",
         start_delay: float | None = None,
+        on_error: str = "raise",
     ) -> "Process":
         """Run ``callback`` every ``period`` seconds until stopped.
 
         Returns a :class:`Process` handle whose :meth:`Process.stop`
-        cancels future firings.
+        cancels future firings. ``on_error`` selects the crash policy
+        for a raising callback (see :class:`Process`).
         """
-        return Process(self, period, callback, label=label, start_delay=start_delay)
+        return Process(
+            self, period, callback, label=label, start_delay=start_delay, on_error=on_error
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -136,12 +140,28 @@ class Simulator:
         return len(self.queue)
 
 
+#: Valid :class:`Process` error policies.
+ON_ERROR_POLICIES = ("raise", "stop", "keep")
+
+
 class Process:
     """A periodic activity driven by the simulator.
 
     The first firing happens ``start_delay`` seconds after creation
     (default: one full period). The callback may call :meth:`stop` to
     end the process from within.
+
+    ``on_error`` decides what a raising callback does to the run:
+
+    * ``"raise"`` (default) — the process stops cleanly, then the
+      exception propagates out of :meth:`Simulator.run`;
+    * ``"stop"`` — the error is recorded in :attr:`errors` and the
+      process stops; the simulation keeps running;
+    * ``"keep"`` — the error is recorded and the process keeps its
+      periodic schedule (degrade, never crash).
+
+    Contained errors are mirrored as ``process_error`` telemetry
+    events when the simulator carries a telemetry object.
     """
 
     def __init__(
@@ -151,13 +171,21 @@ class Process:
         callback: Callable[[], Any],
         label: str = "",
         start_delay: float | None = None,
+        on_error: str = "raise",
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+            )
         self.sim = sim
         self.period = float(period)
         self.callback = callback
         self.label = label or getattr(callback, "__name__", "process")
+        self.on_error = on_error
+        #: Contained callback errors as ``(virtual_time, exception)``.
+        self.errors: list[tuple[float, Exception]] = []
         self._event: Event | None = None
         self._running = True
         self.fire_count = 0
@@ -173,9 +201,36 @@ class Process:
         self._event = None
         self.fire_count += 1
         self._anchor = self.sim.now()
-        self.callback()
+        try:
+            self.callback()
+        except Exception as exc:
+            self._contain(exc)
+            if self.on_error == "raise":
+                raise
         if self._running and self._event is None:
             self._event = self.sim.schedule_after(self.period, self._fire, label=self.label)
+
+    def _contain(self, exc: Exception) -> None:
+        """Record a callback error and apply the on-error policy."""
+        self.errors.append((self.sim.now(), exc))
+        if self.on_error != "keep":
+            # leave a consistent carcass: no pending event, not running —
+            # previously a raising callback left ``running`` True with no
+            # firing ever scheduled again (half-torn-down)
+            self._running = False
+            if self._event is not None:
+                self.sim.cancel(self._event)
+                self._event = None
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.emit(
+                "process_error",
+                t=self.sim.now(),
+                track="kernel",
+                process=self.label,
+                error=repr(exc),
+                policy=self.on_error,
+            )
 
     def set_period(self, period: float) -> None:
         """Change the firing period, rescheduling the *pending* firing.

@@ -231,6 +231,18 @@ class TestAlgorithm2:
         bw.record(2.0)
         assert ctl.evaluate(2.5, currently_remote=False) is QualityDecision.HOLD
 
+    def test_warmup_rate_not_spuriously_low(self):
+        # Regression: during the first window the monitor used to divide
+        # by the full window span, so a healthy ~5 Hz stream observed
+        # for only 0.3 s read as 3 Hz — under threshold — and Algorithm
+        # 2 retreated at mission start for no reason.
+        ctl, bw, d = self.make()
+        self.feed_direction(d, away=True)
+        for t in (0.1, 0.2, 0.3):
+            bw.record(t)
+        assert ctl.evaluate(0.4, currently_remote=True) is QualityDecision.HOLD
+        assert ctl.switches_to_local == 0
+
     def test_latency_strawman_holds_on_nan(self):
         ctl = LatencyThresholdController()
         assert ctl.evaluate(float("nan"), True) is QualityDecision.HOLD
@@ -268,3 +280,48 @@ class TestController:
     def test_default_cap_before_updates(self):
         c = Controller(set_velocity_cap=lambda v: None, hardware_cap=0.7)
         assert c.current_velocity_cap == 0.7
+
+
+class TestSwitcher:
+    def make(self):
+        from repro.core.migration import MigrationPlan
+        from repro.core.switcher import Switcher
+        from repro.compute import EDGE_GATEWAY, Host, TURTLEBOT3_PI
+        from repro.middleware import Graph, InstantTransport, Node
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        graph = Graph(sim, InstantTransport())
+        lgv = Host("lgv", TURTLEBOT3_PI, on_robot=True)
+        server = Host("gateway", EDGE_GATEWAY)
+
+        class Worker(Node):
+            def on_start(self):
+                pass
+
+        graph.add_node(Worker("worker"), server)
+        sw = Switcher(graph, lgv, server, server_threads={"worker": 8})
+        return sw, graph, MigrationPlan
+
+    def test_no_move_still_applies_thread_width(self):
+        # Regression: a node already sitting on the destination host
+        # used to be silently skipped, so a changed server_threads
+        # entry never reached it — the §V acceleration knob went dead.
+        sw, graph, MigrationPlan = self.make()
+        pause = sw.apply(MigrationPlan(to_server=("worker",), to_robot=(), vdp_time_s=0.0))
+        assert pause == 0.0
+        assert graph.nodes["worker"].threads == 8
+        # ...but it is NOT a migration: nothing recorded, no pause paid
+        assert sw.records == []
+
+    def test_no_move_to_robot_resets_width(self):
+        sw, graph, MigrationPlan = self.make()
+        sw.apply(MigrationPlan(to_server=("worker",), to_robot=(), vdp_time_s=0.0))
+        graph.nodes["worker"].host = sw.lgv_host  # relocate out-of-band
+        sw.apply(MigrationPlan(to_server=(), to_robot=("worker",), vdp_time_s=0.0))
+        assert graph.nodes["worker"].threads == 1
+        assert sw.records == []
+
+    def test_unknown_node_is_ignored(self):
+        sw, graph, MigrationPlan = self.make()
+        assert sw.apply(MigrationPlan(to_server=("ghost",), to_robot=(), vdp_time_s=0.0)) == 0.0

@@ -3,12 +3,14 @@
 Missions where the network dies mid-flight, the server slows to a
 crawl, packets vanish wholesale, or nodes migrate under load — the
 adaptive framework must keep the vehicle alive (degrade, never
-crash), which is the paper's robustness thesis.
+crash), which is the paper's robustness thesis. Fault scenarios are
+expressed as declarative :mod:`repro.faults` plans.
 """
 
+from dataclasses import replace
 
-from repro.core import FrameworkConfig
 from repro.experiments._missions import DEPLOYMENTS, launch_navigation
+from repro.faults import FaultInjector, FaultPlan, LinkOutage
 from repro.middleware import Graph, InstantTransport, Node, TwistMsg
 from repro.compute import Host, TURTLEBOT3_PI
 from repro.sim import Simulator
@@ -23,34 +25,28 @@ class TestNetworkDeathMidMission:
             DEPLOYMENTS[2],
             timeout_s=300.0,
         )
-        fw.config = FrameworkConfig(
-            initial_placement="strategy",
-            server_threads=8,
-            enable_realtime_adjustment=adaptive,
-        )
-
-        def kill_link():
-            # collapse the radio: every packet from now on is lost
-            w.fabric.uplink.block_quality = 2.0  # everything "blocked"
-            w.fabric.downlink.block_quality = 2.0
-
-        w.sim.schedule_at(outage_at, kill_link)
-        return runner.run(), fw, w
+        fw.config = replace(fw.config, enable_realtime_adjustment=adaptive)
+        injector = FaultInjector.for_workload(
+            FaultPlan((LinkOutage(start=outage_at),)), w
+        ).arm()
+        return runner.run(), fw, w, injector
 
     def test_adaptive_framework_survives_outage(self):
-        res, fw, w = self.run_with_outage(adaptive=True)
+        res, fw, w, inj = self.run_with_outage(adaptive=True)
         # Algorithm 2 pulled the nodes home and the mission completed
         assert res.success, res.reason
         assert all(v == "lgv" for v in res.final_placement.values())
         assert any("retreat" in e.action for e in fw.events)
+        # the injector logged exactly one injection, at the right time
+        assert inj.log == [(8.0, "injected", "link_outage")]
 
     def test_static_policy_strands_the_robot(self):
-        res, fw, w = self.run_with_outage(adaptive=False)
+        res, fw, w, _ = self.run_with_outage(adaptive=False)
         # commands stop arriving; the watchdog parks the vehicle
         assert not res.success
         assert res.reason == "timeout"
         # and it covered less ground than the adaptive run
-        adaptive_res, _, _ = self.run_with_outage(adaptive=True)
+        adaptive_res, _, _, _ = self.run_with_outage(adaptive=True)
         assert res.distance_m < adaptive_res.distance_m + 1e-9
 
 
@@ -65,11 +61,8 @@ class TestWatchdog:
         w.graph.inject("cmd_vel", TwistMsg(v=0.22, w=0.0), w.lgv_host)
         runner = MissionRunner(w, framework=None, timeout_s=10.0)
 
-        def silence():
-            # unsubscribe the actuator's command source by killing the mux
-            w.nodes["velocity_mux"]._paused = True
-
-        w.sim.schedule_at(1.0, silence)
+        # kill the command stream by freezing the mux mid-mission
+        w.sim.schedule_at(1.0, lambda: w.graph.pause_node("velocity_mux"))
         runner.run()
         assert abs(w.lgv.state.v) < 1e-6  # parked
 
@@ -146,10 +139,10 @@ class TestDegenerateInputs:
                 self.charge(1e3)
                 self.n += 1
 
-        c = graph.add_node(Counter("c"), host)
+        graph.add_node(Counter("c"), host)
         sim.every(0.1, lambda: graph.inject("x", TwistMsg(), host))
-        sim.schedule_at(1.0, lambda: setattr(c, "_paused", True))
-        sim.schedule_at(2.0, lambda: (setattr(c, "_paused", False), c._try_process()))
+        sim.schedule_at(1.0, lambda: graph.pause_node("c"))
+        sim.schedule_at(2.0, lambda: graph.resume_node("c"))
         sim.run(until=3.0)
         # ~10 before the pause, ~10 after, ~10 lost during
-        assert 15 <= c.n <= 25
+        assert 15 <= graph.nodes["c"].n <= 25

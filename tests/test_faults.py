@@ -1,0 +1,363 @@
+"""The fault-injection subsystem: plans, injector semantics, determinism.
+
+Each fault type is exercised against a small concrete rig (a real
+link/fabric/graph, no full mission where avoidable), plus the two
+contract tests that make the subsystem trustworthy: an empty plan
+changes nothing, and a non-empty plan is replay-deterministic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compute import CLOUD_SERVER, EDGE_GATEWAY, TURTLEBOT3_PI, Host
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    LinkOutage,
+    MigrationInterrupt,
+    PacketMangling,
+    ServerCrash,
+    ServerSlowdown,
+    WapDeath,
+)
+from repro.middleware import Graph, Node
+from repro.network import NetworkFabric, WapSite, WirelessLink
+from repro.sim import Simulator
+from repro.telemetry import Telemetry
+
+
+def make_rig(seed: int = 0, quality_pos=(1.5, 1.5)):
+    """Sim + graph + fabric with the robot parked close to the WAP."""
+    sim = Simulator()
+    link = WirelessLink(
+        WapSite(1.0, 1.0), lambda: quality_pos, np.random.default_rng(seed)
+    )
+    fabric = NetworkFabric(link, {"gateway": 0.0005})
+    graph = Graph(sim, fabric)
+    lgv = Host("lgv", TURTLEBOT3_PI, on_robot=True)
+    gateway = Host("gateway", EDGE_GATEWAY)
+    cloud = Host("cloud", CLOUD_SERVER)
+    return sim, link, fabric, graph, lgv, gateway, cloud
+
+
+def make_injector(plan, rig, telemetry=None):
+    sim, link, fabric, graph, lgv, gateway, cloud = rig
+    return FaultInjector(
+        sim,
+        plan,
+        link=link,
+        fabric=fabric,
+        graph=graph,
+        lgv_host=lgv,
+        server_hosts=(gateway, cloud),
+        telemetry=telemetry,
+    )
+
+
+class TestPlanValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LinkOutage(start=-1.0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            LinkOutage(start=0.0, duration=0.0)
+
+    def test_degradation_must_be_negative(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(start=0.0, rssi_offset_db=3.0)
+
+    def test_slowdown_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ServerSlowdown(start=0.0, factor=1.0)
+
+    def test_mangling_probabilities_bounded(self):
+        with pytest.raises(ValueError):
+            PacketMangling(start=0.0, drop_p=0.8, corrupt_p=0.3)
+
+    def test_interrupt_fraction_in_open_interval(self):
+        with pytest.raises(ValueError):
+            MigrationInterrupt(at_fraction=1.0)
+
+    def test_plan_rejects_non_faults(self):
+        with pytest.raises(TypeError):
+            FaultPlan(("not a fault",))
+
+    def test_window_end(self):
+        f = LinkOutage(start=3.0, duration=2.0)
+        assert f.end == 5.0
+        assert LinkOutage(start=3.0).end == math.inf
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+
+
+class TestLinkOutage:
+    def test_udp_blocked_control_plane_alive(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+        make_injector(
+            FaultPlan((LinkOutage(start=1.0, duration=2.0),)), rig
+        ).arm()
+        sim.run(until=1.5)
+        # data plane: every datagram is held/discarded
+        assert fabric.send(lgv, gateway, 1000, sim.now()) is None
+        assert fabric.uplink.held_packets > 0
+        # control plane: reliable sends still succeed quickly — the
+        # deceptively-healthy-latency pathology the paper describes
+        assert fabric.reliable_send(lgv, gateway, 64, sim.now()) < 1.0
+
+    def test_clear_flushes_held_packets(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+        make_injector(
+            FaultPlan((LinkOutage(start=1.0, duration=2.0),)), rig
+        ).arm()
+        sim.run(until=1.5)
+        fabric.send(lgv, gateway, 500, sim.now())
+        assert fabric.uplink.held_packets == 1
+        # the clearing event at t=3 drains the buffer with no send
+        sim.run(until=3.5)
+        assert fabric.uplink.held_packets == 0
+        assert fabric.uplink.stats.delivered >= 1
+
+    def test_injector_log_and_telemetry(self):
+        tel = Telemetry()
+        rig = make_rig()
+        sim = rig[0]
+        inj = make_injector(
+            FaultPlan((LinkOutage(start=1.0, duration=2.0),)), rig, telemetry=tel
+        ).arm()
+        sim.run(until=5.0)
+        assert inj.log == [
+            (1.0, "injected", "link_outage"),
+            (3.0, "cleared", "link_outage"),
+        ]
+        kinds = [e.kind for e in tel.events.events if e.kind.startswith("fault_")]
+        assert kinds == ["fault_injected", "fault_cleared"]
+
+
+class TestLinkDegradation:
+    def test_rssi_offset_window(self):
+        rig = make_rig()
+        sim, link = rig[0], rig[1]
+        make_injector(
+            FaultPlan((LinkDegradation(start=1.0, duration=2.0, rssi_offset_db=-20.0),)),
+            rig,
+        ).arm()
+        clean = link.state().rssi_dbm
+        sim.run(until=1.5)
+        assert link.state().rssi_dbm == pytest.approx(clean - 20.0)
+        sim.run(until=4.0)
+        assert link.state().rssi_dbm == pytest.approx(clean)
+
+
+class TestWapDeath:
+    def test_radio_fully_dead(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+        make_injector(FaultPlan((WapDeath(start=1.0),)), rig).arm()
+        sim.run(until=2.0)
+        st = link.state()
+        assert st.quality == 0.0 and st.rate_bps == 0.0
+        # control plane burns its whole retransmission budget: RTT is
+        # honestly terrible, unlike the LinkOutage case
+        assert fabric.reliable_send(lgv, gateway, 64, sim.now()) > 10.0
+
+
+class TestServerSlowdown:
+    def test_derate_window(self):
+        rig = make_rig()
+        sim, gateway = rig[0], rig[5]
+        make_injector(
+            FaultPlan((ServerSlowdown(start=1.0, duration=2.0, factor=4.0, host="gateway"),)),
+            rig,
+        ).arm()
+        base = gateway.exec_time(1e9)
+        sim.run(until=1.5)
+        assert gateway.exec_time(1e9) == pytest.approx(4.0 * base)
+        sim.run(until=4.0)
+        assert gateway.exec_time(1e9) == pytest.approx(base)
+
+    def test_unknown_host_rejected_at_arm(self):
+        rig = make_rig()
+        inj = make_injector(
+            FaultPlan((ServerSlowdown(start=1.0, host="nope"),)), rig
+        )
+        with pytest.raises(ValueError):
+            inj.arm()
+
+
+class TestServerCrash:
+    def test_crash_pauses_nodes_and_drops_traffic(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+
+        class Sink(Node):
+            def on_start(self):
+                self.n = 0
+                self.subscribe("x", self.cb)
+
+            def cb(self, msg):
+                self.charge(1e3)
+                self.n += 1
+
+        node = graph.add_node(Sink("sink"), gateway)
+        make_injector(
+            FaultPlan((ServerCrash(start=1.0, restart_after=2.0, host="gateway"),)),
+            rig,
+        ).arm()
+        sim.run(until=1.5)
+        assert not gateway.up
+        assert node.paused
+        assert fabric.send(lgv, gateway, 100, sim.now()) is None
+        sim.run(until=3.5)  # restart at t=3
+        assert gateway.up
+        assert not node.paused
+
+    def test_restart_skips_rescued_nodes(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+
+        class Sink(Node):
+            def on_start(self):
+                self.subscribe("x", lambda m: None)
+
+        node = graph.add_node(Sink("sink"), gateway)
+        make_injector(
+            FaultPlan((ServerCrash(start=1.0, restart_after=2.0, host="gateway"),)),
+            rig,
+        ).arm()
+        sim.run(until=1.5)
+        # the framework rescues the node to the robot mid-crash
+        graph.move_node("sink", lgv)
+        sim.run(until=3.5)
+        # the restart must not have force-resumed a node that moved away
+        assert node.host is lgv
+
+
+class TestPacketMangling:
+    def test_drop_counters_and_window(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+        make_injector(
+            FaultPlan((PacketMangling(start=1.0, duration=2.0, drop_p=1.0, seed=3),)),
+            rig,
+        ).arm()
+        sim.run(until=1.5)
+        for _ in range(5):
+            assert fabric.send(lgv, gateway, 100, sim.now()) is None
+        assert fabric.uplink.stats.dropped_fault == 5
+        sim.run(until=4.0)
+        assert fabric.uplink.fault is None
+
+    def test_duplicates_counted_not_delivered_twice(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+        make_injector(
+            FaultPlan((PacketMangling(start=0.0, duplicate_p=1.0, seed=3),)), rig
+        ).arm()
+        for _ in range(5):
+            fabric.send(lgv, gateway, 100, sim.now())
+        assert fabric.uplink.stats.duplicated == 5
+        assert fabric.uplink.stats.delivered <= 5
+
+
+class TestMigrationInterrupt:
+    def _graph_with_mover(self, rig):
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+
+        class Mover(Node):
+            def on_migrate(self, new_host):
+                return 100_000
+
+        graph.add_node(Mover("mover"), lgv)
+        return graph
+
+    def test_one_shot_extra_pause_on_wireless_transfer(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+        graph = self._graph_with_mover(rig)
+        inj = make_injector(
+            FaultPlan((MigrationInterrupt(start=0.0, at_fraction=0.5),)), rig
+        ).arm()
+        assert graph.migration_fault is not None
+        p_faulted = graph.move_node("mover", gateway)
+        # hook disarmed after the strike; the way back is clean
+        assert graph.migration_fault is None
+        graph.move_node("mover", lgv)
+        p_clean = graph.move_node("mover", gateway)
+        assert p_faulted > p_clean
+        assert [k for _, _, k in inj.log] == ["migration_interrupt"]
+
+    def test_wired_transfers_not_targeted(self):
+        rig = make_rig()
+        sim, link, fabric, graph, lgv, gateway, cloud = rig
+        graph = self._graph_with_mover(rig)
+        graph.nodes["mover"].host = gateway  # pretend it lives server-side
+        make_injector(
+            FaultPlan((MigrationInterrupt(start=0.0),)), rig
+        ).arm()
+        graph.move_node("mover", cloud)  # wired hop: not a target
+        assert graph.migration_fault is not None  # still armed
+
+
+class TestInjectorContract:
+    def test_arm_twice_raises(self):
+        rig = make_rig()
+        inj = make_injector(FaultPlan(), rig)
+        inj.arm()
+        with pytest.raises(RuntimeError):
+            inj.arm()
+
+    def test_past_start_applies_immediately(self):
+        rig = make_rig()
+        sim, link = rig[0], rig[1]
+        sim.schedule_at(5.0, lambda: None)
+        sim.run(until=5.0)
+        make_injector(FaultPlan((WapDeath(start=1.0),)), rig).arm()
+        assert link.fault_blocked  # applied at arm time, not skipped
+
+
+def _mission_digest(plan):
+    """Run a short offloaded mission; return a determinism digest."""
+    from repro.experiments._missions import DEPLOYMENTS, launch_navigation
+
+    w, fw, runner = launch_navigation(DEPLOYMENTS[2], timeout_s=12.0)
+    if plan is not None:
+        FaultInjector.for_workload(plan, w).arm()
+    runner.run()
+    p = w.lgv.state.pose
+    return (
+        w.sim.events_processed,
+        round(p.x, 12),
+        round(p.y, 12),
+        round(p.theta, 12),
+        w.fabric.uplink.stats.sent,
+        w.fabric.uplink.stats.delivered,
+    )
+
+
+class TestDeterminism:
+    def test_empty_plan_is_identity(self):
+        """Arming an empty plan must change nothing at all."""
+        assert _mission_digest(None) == _mission_digest(FaultPlan())
+
+    def test_faulted_run_is_replayable(self):
+        """Same plan, same seed -> bit-identical trajectory and stats."""
+        plan = FaultPlan(
+            (
+                LinkOutage(start=2.0, duration=3.0),
+                PacketMangling(start=6.0, duration=2.0, drop_p=0.3, seed=11),
+            )
+        )
+        assert _mission_digest(plan) == _mission_digest(plan)
+
+    def test_faulted_run_differs_from_clean(self):
+        """Sanity: the faults in the replay test actually bite."""
+        plan = FaultPlan((LinkOutage(start=2.0, duration=3.0),))
+        assert _mission_digest(plan) != _mission_digest(None)

@@ -19,6 +19,7 @@ from repro.network import (
     link_quality,
 )
 from repro.network.signal import phy_rate
+from repro.network.udp import ChannelFault
 from repro.sim.rng import seeded_rng
 
 
@@ -131,6 +132,67 @@ class TestUdpChannel:
         assert udp.stats.bytes_sent == 1234
         assert udp.stats.bytes_delivered == 1234
 
+    def test_flush_charges_held_time_to_latency_not_arrival(self):
+        # Bugfix regression: a flushed packet leaves the driver at flush
+        # time, so it arrives at now + transit. The held interval
+        # belongs only in the latency *sample* — before the fix the
+        # arrival time paid it a second time.
+        link, pos = make_link((14.0, 0.0), seed=3)
+        udp = UdpChannel(link, kernel_buffer_packets=2)
+        udp.send(500, 0.0)
+        udp.send(500, 0.2)
+        pos[0] = 1.0  # signal recovers
+        udp.send(500, 5.0)
+        flushed = [
+            (lat, arr)
+            for lat, arr in zip(udp.stats.latencies, udp.stats.delivery_times)
+            if lat > 4.0
+        ]
+        assert flushed  # at least one held packet made it out
+        for lat, arr in flushed:
+            # arrival = flush time + airtime, NOT flush time + held + airtime
+            assert 5.0 <= arr < 5.1
+
+    def test_explicit_flush_drains_without_a_send(self):
+        # Bugfix regression: held packets must go out on a link-recovery
+        # event even if the application never sends again.
+        link, pos = make_link((14.0, 0.0), seed=3)
+        udp = UdpChannel(link, kernel_buffer_packets=2)
+        udp.send(500, 0.0)
+        udp.send(500, 0.2)
+        assert udp.flush(1.0) == 0  # still blocked: a no-op
+        assert udp.held_packets == 2
+        pos[0] = 1.0
+        assert udp.flush(5.0) == 2
+        assert udp.held_packets == 0
+        assert udp.stats.delivered + udp.stats.dropped_air == 2
+
+    def test_fault_blocked_overrides_good_signal(self):
+        link, _ = make_link((1.0, 0.0))
+        udp = UdpChannel(link, kernel_buffer_packets=4)
+        udp.fault_blocked = True
+        assert not udp.transmitting(link.state())
+        assert udp.send(500, 0.0) is None
+        assert udp.held_packets == 1
+        udp.fault_blocked = False
+        assert udp.flush(0.5) == 1
+
+    def test_channel_fault_drop_counted(self):
+        link, _ = make_link((1.0, 0.0))
+        udp = UdpChannel(link)
+        udp.fault = ChannelFault(seeded_rng(5), drop_p=1.0)
+        assert udp.send(500, 0.0) is None
+        assert udp.stats.dropped_fault == 1
+
+    def test_channel_fault_duplicate_is_idempotent(self):
+        link, _ = make_link((1.0, 0.0))
+        udp = UdpChannel(link)
+        udp.fault = ChannelFault(seeded_rng(5), duplicate_p=1.0)
+        lat = udp.send(500, 0.0)
+        assert lat is not None
+        assert udp.stats.duplicated == 1
+        assert udp.stats.delivered == 1  # the copy is not double-counted
+
 
 class TestReliableChannel:
     def test_always_returns_latency(self):
@@ -159,6 +221,25 @@ class TestMonitors:
             m.record(t)
         assert m.rate(1.0) == 5.0
         assert m.rate(1.9) == 1.0  # only t=0.9 remains
+
+    def test_bandwidth_warmup_not_diluted(self):
+        # Bugfix regression: before one full window has elapsed the
+        # denominator is the observable time, not the window span —
+        # else a healthy stream reads artificially slow at start-up.
+        m = BandwidthMonitor(window_s=1.0)
+        for t in [0.1, 0.2, 0.3]:
+            m.record(t)
+        assert m.rate(0.4) == pytest.approx(3 / 0.4)
+
+    def test_bandwidth_rate_at_t0_is_zero(self):
+        m = BandwidthMonitor(window_s=1.0)
+        assert m.rate(0.0) == 0.0
+
+    def test_bandwidth_warmup_respects_t0(self):
+        # A monitor born mid-mission clamps to time since *its* birth.
+        m = BandwidthMonitor(window_s=1.0, t0=10.0)
+        m.record(10.2)
+        assert m.rate(10.5) == pytest.approx(2.0)
 
     def test_bandwidth_rejects_time_travel(self):
         m = BandwidthMonitor()

@@ -279,6 +279,98 @@ class TestProcess:
         with pytest.raises(ValueError):
             proc.set_period(-1.0)
 
+    def test_set_period_inside_fire_now(self):
+        # a callback adapting its own rate during a forced firing must
+        # not double-schedule: exactly one pending firing afterwards,
+        # one full new period after the forced one
+        sim = Simulator()
+        times = []
+        holder = {}
+
+        def cb():
+            times.append(sim.now())
+            if sim.now() == 2.5:
+                holder["p"].set_period(0.5)
+
+        holder["p"] = sim.every(1.0, cb)
+        sim.schedule_at(2.5, holder["p"].fire_now)
+        sim.run(until=4.1)
+        assert times == [1.0, 2.0, 2.5, 3.0, 3.5, 4.0]
+        assert sim.queue_depth == 1  # the single pending firing
+
+
+class TestProcessErrors:
+    """Crash containment: the on_error policies of a raising callback."""
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("boom")
+
+    def test_raise_policy_propagates_but_tears_down_cleanly(self):
+        # default policy: the error escapes sim.run, but the process is
+        # left consistently dead — previously ``running`` stayed True
+        # with no firing ever scheduled again
+        sim = Simulator()
+        proc = sim.every(1.0, self._boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run(until=5.0)
+        assert not proc.running
+        assert sim.queue_depth == 0
+        assert len(proc.errors) == 1
+        # the simulator itself is still usable
+        sim.schedule_at(2.0, lambda: None)
+        sim.run(until=5.0)
+
+    def test_stop_policy_contains_and_stops(self):
+        sim = Simulator()
+        survivor = []
+        sim.every(1.0, lambda: survivor.append(sim.now()))
+        proc = sim.every(1.0, self._boom, on_error="stop")
+        sim.run(until=3.5)
+        assert not proc.running
+        assert [t for t, _ in proc.errors] == [1.0]
+        assert survivor == [1.0, 2.0, 3.0]  # the rest of the sim lived on
+
+    def test_keep_policy_keeps_firing(self):
+        sim = Simulator()
+        proc = sim.every(1.0, self._boom, on_error="keep")
+        sim.run(until=3.5)
+        assert proc.running
+        assert proc.fire_count == 3
+        assert [t for t, _ in proc.errors] == [1.0, 2.0, 3.0]
+
+    def test_keep_policy_intermittent_error(self):
+        # degrade-never-crash: one bad firing must not cost the good ones
+        sim = Simulator()
+        good = []
+
+        def flaky():
+            if sim.now() == 2.0:
+                raise ValueError("transient")
+            good.append(sim.now())
+
+        proc = sim.every(1.0, flaky, on_error="keep")
+        sim.run(until=4.5)
+        assert good == [1.0, 3.0, 4.0]
+        assert len(proc.errors) == 1
+
+    def test_contained_error_emits_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        sim = Simulator()
+        sim.telemetry = Telemetry()
+        sim.every(1.0, self._boom, label="fragile", on_error="stop")
+        sim.run(until=2.0)
+        evs = [e for e in sim.telemetry.events.events if e.kind == "process_error"]
+        assert len(evs) == 1
+        assert evs[0].fields["process"] == "fragile"
+        assert evs[0].fields["policy"] == "stop"
+
+    def test_invalid_policy_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.every(1.0, lambda: None, on_error="explode")
+
 
 class TestRng:
     def test_seeded_rng_reproducible(self):
