@@ -30,3 +30,9 @@ def test_chaos_matrix(benchmark):
 
     # the adaptive survivor actually used Algorithm 2, not luck
     assert adaptive.retreats >= 1
+
+    # the fleet-scale cell: a pool worker crash is absorbed by the
+    # rebalance path — no tenant stranded, requests re-placed
+    pool_cell = result.run("pool_worker_crash")
+    assert pool_cell.success
+    assert pool_cell.retreats >= 1  # at least one request rebalanced

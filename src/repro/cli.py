@@ -7,6 +7,7 @@ Usage::
     python -m repro all            # everything (the Fig. 13 matrix is slow)
     python -m repro fig12 --trace-out fig12_trace.json
     python -m repro trace fig9 --trace-out /tmp/t.json --metrics-out /tmp/m.json
+    python -m repro fleet --robots 16 --workers 2 --scheduler edf --fleet-out cap.json
 
 Each artifact prints its regenerated table or ASCII chart. With
 ``--trace-out`` / ``--metrics-out`` (or the ``trace`` command, which
@@ -22,10 +23,12 @@ import sys
 import time
 from typing import Callable, Optional
 
+from repro.cloud import SCHEDULER_NAMES
 from repro.experiments import (
     run_ablation_migration_granularity,
     run_chaos,
     run_fig7,
+    run_fleet,
     run_ablation_netqual_metric,
     run_ablation_velocity_adaptation,
     run_fig9,
@@ -54,6 +57,7 @@ ARTIFACTS: dict[str, tuple[Callable[..., object], str]] = {
     "fig13": (run_fig13, "end-to-end energy & time matrix (slow, ~3 min)"),
     "fig14": (run_fig14, "max-vs-real velocity gap"),
     "chaos": (run_chaos, "single-fault chaos matrix, adaptive vs static (~4 min)"),
+    "fleet": (run_fleet, "fleet capacity curve: admission control vs admit-all"),
     "ablation-netqual": (run_ablation_netqual_metric, "Algorithm 2 vs latency threshold"),
     "ablation-granularity": (run_ablation_migration_granularity, "fine-grained vs whole offload"),
     "ablation-velocity": (run_ablation_velocity_adaptation, "Eq. 2c on/off"),
@@ -82,6 +86,39 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a metrics snapshot JSON and enable telemetry",
+    )
+    fleet = parser.add_argument_group("fleet", "options for the 'fleet' artifact")
+    fleet.add_argument(
+        "--robots",
+        type=int,
+        default=24,
+        metavar="K",
+        help="fleet sizes to sweep (1..K) for 'fleet' (default: 24)",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pool workers serving the fleet (default: 2)",
+    )
+    fleet.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_NAMES,
+        default="edf",
+        help="per-worker serving discipline for 'fleet' (default: edf)",
+    )
+    fleet.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="radio randomness seed for 'fleet' (default: 0)",
+    )
+    fleet.add_argument(
+        "--fleet-out",
+        metavar="PATH",
+        default=None,
+        help="write the fleet capacity curve as canonical JSON",
     )
     return parser
 
@@ -118,12 +155,25 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in names:
         runner, _ = ARTIFACTS[name]
+        kwargs: dict[str, object] = {}
+        if name == "fleet":
+            kwargs = {
+                "robots": args.robots,
+                "workers": args.workers,
+                "scheduler": args.scheduler,
+                "seed": args.seed,
+            }
+        if tel is not None:
+            kwargs["telemetry"] = tel
         print(f"\n######## {name} ########")
         t0 = time.perf_counter()
-        result = runner(telemetry=tel) if tel is not None else runner()
+        result = runner(**kwargs)
         elapsed = time.perf_counter() - t0
         print(result.render())
         print(f"[{name} regenerated in {elapsed:.1f} s]")
+        if name == "fleet" and args.fleet_out:
+            p = result.write_json(args.fleet_out)
+            print(f"[fleet capacity JSON written to {p}]")
 
     if tel is not None:
         trace_out = args.trace_out or (f"{'_'.join(names)}_trace.json" if trace_mode else None)

@@ -1,0 +1,60 @@
+"""``repro.cloud`` — the multi-tenant cloud serving layer.
+
+The fleet-scale shape the paper's §VIII-E points at: many LGVs
+streaming ECN/VDP ticks into a shared :class:`WorkerPool` behind a
+:class:`LoadBalancer`, served under a pluggable per-worker
+:class:`Scheduler` (FIFO / EDF / processor sharing), guarded by an
+Eq. 2c-driven :class:`AdmissionController` and grown/shrunk by a
+reactive :class:`Autoscaler`. See ``docs/cloud.md`` and
+``python -m repro fleet``.
+"""
+
+from repro.cloud.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantSpec,
+)
+from repro.cloud.autoscaler import Autoscaler
+from repro.cloud.balancer import (
+    BALANCER_NAMES,
+    AffinityBalancer,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.cloud.pool import PoolWorker, WorkerPool
+from repro.cloud.request import TickRequest
+from repro.cloud.scheduler import (
+    SCHEDULER_NAMES,
+    EdfScheduler,
+    FifoScheduler,
+    ProcessorSharingScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.cloud.tenants import RobotTenant, TenantStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AffinityBalancer",
+    "Autoscaler",
+    "BALANCER_NAMES",
+    "EdfScheduler",
+    "FifoScheduler",
+    "LeastLoadedBalancer",
+    "LoadBalancer",
+    "PoolWorker",
+    "ProcessorSharingScheduler",
+    "RobotTenant",
+    "RoundRobinBalancer",
+    "SCHEDULER_NAMES",
+    "Scheduler",
+    "TenantSpec",
+    "TenantStats",
+    "TickRequest",
+    "WorkerPool",
+    "make_balancer",
+    "make_scheduler",
+]

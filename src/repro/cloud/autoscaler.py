@@ -1,0 +1,184 @@
+"""Reactive autoscaling: grow/shrink the pool from observed load.
+
+The scaler is a periodic DES :class:`~repro.sim.kernel.Process` that
+reads the pool's ``cloud_pool_utilization`` / ``cloud_pool_queue_depth``
+gauges from :mod:`repro.telemetry` (falling back to the pool's own
+state when the run is untraced) and reacts:
+
+* scale **up** when mean utilization or per-worker queue depth crosses
+  the high-water marks — a new host joins after ``startup_delay_s``
+  (VM boot + deploy, the FogROS cost);
+* scale **down** when both sit under the low-water marks — the newest
+  scaled-up worker retires, its in-flight requests re-placed.
+
+A cooldown keeps decisions from flapping on one burst.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.cloud.pool import WorkerPool
+from repro.compute.host import Host
+from repro.sim.kernel import Process, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+#: Builds the host for scale-up step ``i`` (0-based).
+HostFactory = Callable[[int], Host]
+
+
+class Autoscaler:
+    """Queue/utilization-driven worker-count controller.
+
+    Parameters
+    ----------
+    sim, pool:
+        The simulation and the pool being scaled.
+    host_factory:
+        Called with a monotonically growing index to mint scale-up
+        hosts (platform choice stays with the caller).
+    min_workers / max_workers:
+        Scaling bounds; the pool never shrinks below the workers it
+        started with unless ``min_workers`` says so.
+    high_utilization / high_queue_per_worker:
+        Scale-up triggers (either suffices).
+    low_utilization:
+        Scale-down trigger (only with an empty queue).
+    period_s / cooldown_s / startup_delay_s:
+        Sampling period, minimum gap between actions, and the delay
+        before a newly requested worker starts serving.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pool: WorkerPool,
+        host_factory: HostFactory,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        high_utilization: float = 0.8,
+        high_queue_per_worker: float = 2.0,
+        low_utilization: float = 0.25,
+        period_s: float = 1.0,
+        cooldown_s: float = 4.0,
+        startup_delay_s: float = 3.0,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        if min_workers < 1 or max_workers < min_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        self.sim = sim
+        self.pool = pool
+        self.host_factory = host_factory
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.high_utilization = high_utilization
+        self.high_queue_per_worker = high_queue_per_worker
+        self.low_utilization = low_utilization
+        self.period_s = period_s
+        self.cooldown_s = cooldown_s
+        self.startup_delay_s = startup_delay_s
+        self.telemetry = telemetry
+        self._minted = 0
+        self._pending_up = 0
+        self._last_action_t = -float("inf")
+        #: Names of workers this scaler added (scale-down candidates).
+        self._scaled_up: list[str] = []
+        #: (virtual_time, action, workers_after) decision log.
+        self.actions: list[tuple[float, str, int]] = []
+        self._proc: Process | None = None
+
+    def start(self) -> Process:
+        """Begin the periodic control loop; returns its process."""
+        self._proc = self.sim.every(
+            self.period_s, self._tick, label="autoscaler"
+        )
+        return self._proc
+
+    def stop(self) -> None:
+        """Stop the control loop."""
+        if self._proc is not None:
+            self._proc.stop()
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def _signals(self) -> tuple[float, float]:
+        """(mean utilization, mean queue depth per worker) observed now.
+
+        Prefers the telemetry gauges the pool publishes — the scaler
+        reacts to the same numbers an operator dashboard would show —
+        and falls back to direct pool state in untraced runs.
+        """
+        workers = [w for w in self.pool.workers if w.up]
+        n = max(1, len(workers))
+        if self.telemetry is not None:
+            util_g = self.telemetry.metrics.get("cloud_pool_utilization")
+            qd_g = self.telemetry.metrics.get("cloud_pool_queue_depth")
+            if util_g is not None and qd_g is not None:
+                util = sum(
+                    util_g.value(worker=w.host.name) for w in workers
+                ) / n
+                qd = sum(qd_g.value(worker=w.host.name) for w in workers) / n
+                return util, qd
+        return (
+            self.pool.utilization(self.sim.now()),
+            self.pool.queue_depth() / n,
+        )
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.sim.now()
+        if now - self._last_action_t < self.cooldown_s:
+            return
+        util, queue_per_worker = self._signals()
+        n_live = len([w for w in self.pool.workers if w.up])
+        n_total = n_live + self._pending_up
+        if (
+            util > self.high_utilization
+            or queue_per_worker > self.high_queue_per_worker
+        ) and n_total < self.max_workers:
+            self._scale_up(now)
+        elif (
+            util < self.low_utilization
+            and queue_per_worker == 0
+            and self._pending_up == 0
+            and n_live > self.min_workers
+            and self._scaled_up
+        ):
+            self._scale_down(now)
+
+    def _scale_up(self, now: float) -> None:
+        self._last_action_t = now
+        self._pending_up += 1
+        host = self.host_factory(self._minted)
+        self._minted += 1
+
+        def join() -> None:
+            self._pending_up -= 1
+            self.pool.add_worker(host)
+            self._scaled_up.append(host.name)
+            self.actions.append(
+                (self.sim.now(), "up", len(self.pool.workers))
+            )
+            self._emit("autoscale_up", worker=host.name)
+
+        self.sim.schedule_after(
+            self.startup_delay_s, join, label="autoscaler:join"
+        )
+
+    def _scale_down(self, now: float) -> None:
+        self._last_action_t = now
+        name = self._scaled_up.pop()  # newest first, original hosts stay
+        self.pool.remove_worker(name)
+        self.actions.append((now, "down", len(self.pool.workers)))
+        self._emit("autoscale_down", worker=name)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                kind, t=self.sim.now(), track="cloud", **fields
+            )

@@ -1,0 +1,466 @@
+"""The worker pool: N hosts serving the fleet's tick stream.
+
+A :class:`WorkerPool` owns one :class:`PoolWorker` per server
+:class:`~repro.compute.host.Host`, routes incoming
+:class:`~repro.cloud.request.TickRequest`\\ s through its
+:class:`~repro.cloud.balancer.LoadBalancer`, and survives worker
+crashes by re-placing every request the dead worker was holding
+(active and queued) on the survivors — the rebalance path
+:mod:`repro.faults` drives through ``ServerCrash`` faults.
+
+Each worker serves under the discipline of its
+:class:`~repro.cloud.scheduler.Scheduler`: queueing (FIFO / EDF,
+requests hold cores exclusively) or processor sharing (everything
+runs, overload stretches everyone — the DES realization of
+:mod:`repro.extensions.fleet`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.cloud.balancer import LoadBalancer
+from repro.cloud.request import TickRequest
+from repro.cloud.scheduler import Scheduler
+from repro.compute.host import Host
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+#: Completion callback: ``(request, finish_time)`` in virtual seconds.
+CompletionFn = Callable[[TickRequest, float], None]
+
+#: Remaining-work epsilon (s) below which a shared job counts as done.
+_PS_EPS = 1e-9
+
+
+class _Job:
+    """One request being served (or queued) on a worker."""
+
+    __slots__ = (
+        "req", "on_complete", "width", "started_at", "event", "remaining_s"
+    )
+
+    def __init__(
+        self, req: TickRequest, on_complete: CompletionFn, width: int
+    ) -> None:
+        self.req = req
+        self.on_complete = on_complete
+        self.width = width
+        self.started_at = 0.0
+        self.event: Event | None = None  # queueing-mode completion event
+        self.remaining_s = 0.0  # PS-mode isolated work left
+
+
+class PoolWorker:
+    """One serving host plus its request queue and discipline."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        scheduler: Scheduler,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.scheduler = scheduler
+        self.telemetry = telemetry
+        self.capacity = host.platform.hardware_threads
+        #: Autoscaler drain flag: a retiring worker takes no new work.
+        self.accepting = True
+        self._queue: list[_Job] = []
+        self._active: list[_Job] = []
+        # processor-sharing bookkeeping
+        self._ps_last_t = sim.now()
+        self._ps_event: Event | None = None
+        #: Requests completed by this worker (capacity accounting).
+        self.served = 0
+
+    # ------------------------------------------------------------------
+    # State views
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """Mirrors the host's fault state."""
+        return self.host.up
+
+    def queue_depth(self) -> int:
+        """Requests waiting (always 0 under processor sharing)."""
+        return len(self._queue)
+
+    def inflight(self) -> int:
+        """Requests currently executing."""
+        return len(self._active)
+
+    def load(self) -> float:
+        """Thread demand (running + queued) over capacity.
+
+        Exceeds 1.0 when overcommitted — under processor sharing that
+        is exactly the analytical model's utilization > 1 regime.
+        """
+        demand = sum(j.width for j in self._active) + sum(
+            j.width for j in self._queue
+        )
+        return demand / self.capacity
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, req: TickRequest, on_complete: CompletionFn) -> None:
+        """Accept one request under this worker's discipline."""
+        width = min(req.threads, self.capacity)
+        job = _Job(req, on_complete, width)
+        if self.scheduler.sharing:
+            self._ps_admit(job)
+        else:
+            self._queue.append(job)
+            self._dispatch()
+
+    def evict_all(self) -> list[tuple[TickRequest, CompletionFn]]:
+        """Cancel everything (crash/retire); returns requests to re-place.
+
+        Active requests lose their progress — the replacement worker
+        starts them from scratch, which is what a stateless tick
+        recompute costs in the real system.
+        """
+        now = self.sim.now()
+        victims = [(j.req, j.on_complete) for j in self._active] + [
+            (j.req, j.on_complete) for j in self._queue
+        ]
+        for j in self._active:
+            if j.event is not None:
+                self.sim.cancel(j.event)
+                j.event = None
+            self.host.vacate(j.width, now)
+        if self._ps_event is not None:
+            self.sim.cancel(self._ps_event)
+            self._ps_event = None
+        self._active.clear()
+        self._queue.clear()
+        self._ps_last_t = now
+        return victims
+
+    # -- queueing (FIFO / EDF) -----------------------------------------
+    def _free_threads(self) -> int:
+        return self.capacity - sum(j.width for j in self._active)
+
+    def _dispatch(self) -> None:
+        now = self.sim.now()
+        while self._queue:
+            i = self.scheduler.pick([j.req for j in self._queue], now)
+            if self._queue[i].width > self._free_threads():
+                break  # policy head blocks until it fits (no backfill)
+            job = self._queue.pop(i)
+            self._start(job, now)
+
+    def _start(self, job: _Job, now: float) -> None:
+        job.started_at = now
+        duration = self.host.exec_time(
+            job.req.cycles, job.req.threads, job.req.profile
+        )
+        self.host.occupy(job.width, now)
+        self._active.append(job)
+        job.event = self.sim.schedule_after(
+            duration,
+            lambda: self._finish(job),
+            label=f"pool:{self.host.name}:{job.req.tenant}",
+        )
+
+    def _finish(self, job: _Job) -> None:
+        now = self.sim.now()
+        job.event = None
+        self._active.remove(job)
+        self.host.vacate(job.width, now)
+        self.host.account(job.req.tenant, job.req.cycles, now - job.started_at)
+        self.served += 1
+        job.on_complete(job.req, now)
+        self._dispatch()
+
+    # -- processor sharing ---------------------------------------------
+    def _ps_rate(self) -> float:
+        demand = sum(j.width for j in self._active)
+        if demand <= self.capacity:
+            return 1.0
+        return self.capacity / demand
+
+    def _ps_advance(self, now: float) -> None:
+        """Credit progress to every shared job since the last event."""
+        elapsed = now - self._ps_last_t
+        if elapsed > 0 and self._active:
+            rate = self._ps_rate()
+            for j in self._active:
+                j.remaining_s -= elapsed * rate
+        self._ps_last_t = now
+
+    def _ps_admit(self, job: _Job) -> None:
+        now = self.sim.now()
+        self._ps_advance(now)
+        job.started_at = now
+        job.remaining_s = self.host.exec_time(
+            job.req.cycles, job.req.threads, job.req.profile
+        )
+        self.host.occupy(job.width, now)
+        self._active.append(job)
+        self._ps_reschedule(now)
+
+    def _ps_reschedule(self, now: float) -> None:
+        if self._ps_event is not None:
+            self.sim.cancel(self._ps_event)
+            self._ps_event = None
+        if not self._active:
+            return
+        rate = self._ps_rate()
+        soonest = min(j.remaining_s for j in self._active)
+        self._ps_event = self.sim.schedule_after(
+            max(0.0, soonest / rate),
+            self._ps_complete,
+            label=f"pool:{self.host.name}:share",
+        )
+
+    def _ps_complete(self) -> None:
+        now = self.sim.now()
+        self._ps_event = None
+        self._ps_advance(now)
+        done = [j for j in self._active if j.remaining_s <= _PS_EPS]
+        for job in done:
+            self._active.remove(job)
+            self.host.vacate(job.width, now)
+            self.host.account(
+                job.req.tenant, job.req.cycles, now - job.started_at
+            )
+            self.served += 1
+            job.on_complete(job.req, now)
+        self._ps_reschedule(now)
+
+
+class WorkerPool:
+    """The multi-tenant serving layer: balancer + workers + rebalance.
+
+    Parameters
+    ----------
+    sim:
+        The simulator all serving events run on.
+    hosts:
+        Initial server hosts (one worker each).
+    scheduler:
+        Per-worker discipline, shared policy object across workers for
+        round-robin state-free policies (FIFO/EDF/PS are stateless).
+    balancer:
+        Request -> worker routing policy.
+    telemetry:
+        Optional metrics/events sink; per-tenant labels throughout.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: Iterable[Host],
+        scheduler: Scheduler,
+        balancer: LoadBalancer,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.balancer = balancer
+        self.telemetry = telemetry
+        self.workers: list[PoolWorker] = []
+        #: Requests parked while no worker was up, re-placed on recovery.
+        self._stranded: list[tuple[TickRequest, CompletionFn]] = []
+        #: Totals for result reporting without telemetry.
+        self.submitted = 0
+        self.completed = 0
+        self.rebalanced = 0
+        self._instruments = None
+        if telemetry is not None:
+            m = telemetry.metrics
+            self._instruments = (
+                m.counter(
+                    "cloud_requests_total",
+                    "pool requests by tenant and outcome",
+                ),
+                m.histogram(
+                    "cloud_service_seconds",
+                    "pool-side sojourn (arrival to completion) per tenant",
+                ),
+                m.gauge("cloud_pool_queue_depth", "queued requests per worker"),
+                m.gauge(
+                    "cloud_pool_utilization",
+                    "thread demand over capacity per worker",
+                ),
+                m.gauge("cloud_pool_workers", "live workers in the pool"),
+                m.counter(
+                    "cloud_rebalanced_total",
+                    "requests re-placed after a worker crash/retire",
+                ),
+            )
+        for h in hosts:
+            self.add_worker(h)
+        if not self.workers:
+            raise ValueError("a WorkerPool needs at least one host")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_worker(self, host: Host) -> PoolWorker:
+        """Join a new serving host (autoscaler scale-up path)."""
+        w = PoolWorker(self.sim, host, self.scheduler, self.telemetry)
+        self.workers.append(w)
+        self._emit("pool_worker_added", worker=host.name)
+        self._sample_gauges()
+        # A stranded backlog drains onto the first worker that appears.
+        self._replay_stranded()
+        return w
+
+    def remove_worker(self, name: str) -> None:
+        """Retire a worker (scale-down); its requests are re-placed."""
+        w = self._worker(name)
+        w.accepting = False
+        victims = w.evict_all()
+        self.workers.remove(w)
+        self._emit("pool_worker_removed", worker=name, replaced=len(victims))
+        self._replace(victims, crashed=name)
+        self._sample_gauges()
+
+    def worker_hosts(self) -> tuple[Host, ...]:
+        """Hosts currently in the pool (fault-injection targets)."""
+        return tuple(w.host for w in self.workers)
+
+    def _worker(self, name: str) -> PoolWorker:
+        for w in self.workers:
+            if w.host.name == name:
+                return w
+        raise KeyError(f"no pool worker named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def live_workers(self) -> list[PoolWorker]:
+        """Workers that are up and accepting."""
+        return [w for w in self.workers if w.up and w.accepting]
+
+    def submit(self, req: TickRequest, on_complete: CompletionFn) -> None:
+        """Route one request; parks it if every worker is down."""
+        now = self.sim.now()
+        req.arrival_at = now
+        self.submitted += 1
+        # Wrap exactly once here: rebalanced victims re-enter via
+        # _place with the already-wrapped callback.
+        self._place(req, self._wrap(on_complete))
+        self._sample_gauges()
+
+    def _place(self, req: TickRequest, on_complete: CompletionFn) -> None:
+        live = self.live_workers()
+        if not live:
+            self._stranded.append((req, on_complete))
+            self._count(req.tenant, "stranded")
+            self._emit("pool_stranded", tenant=req.tenant, seq=req.seq)
+            return
+        worker = self.balancer.pick(live, req, self.sim.now())
+        self._count(req.tenant, "placed")
+        worker.submit(req, on_complete)
+
+    def _wrap(self, on_complete: CompletionFn) -> CompletionFn:
+        def done(req: TickRequest, t: float) -> None:
+            self.completed += 1
+            if self._instruments is not None:
+                requests, service, *_ = self._instruments
+                requests.inc(tenant=req.tenant, outcome="served")
+                service.observe(t - req.arrival_at, tenant=req.tenant)
+            self._sample_gauges()
+            on_complete(req, t)
+
+        return done
+
+    # ------------------------------------------------------------------
+    # Fault wiring (repro.faults ServerCrash -> rebalance)
+    # ------------------------------------------------------------------
+    def on_worker_down(self, host: Host) -> int:
+        """A pool host crashed: re-place everything it held.
+
+        Returns the number of re-placed requests. Requests land on the
+        surviving workers via the normal balancer; with nothing left
+        up they park until :meth:`on_worker_up`.
+        """
+        w = next((w for w in self.workers if w.host is host), None)
+        if w is None:
+            return 0
+        victims = w.evict_all()
+        self._emit(
+            "pool_rebalance", worker=host.name, replaced=len(victims)
+        )
+        self._replace(victims, crashed=host.name)
+        self._sample_gauges()
+        return len(victims)
+
+    def on_worker_up(self, host: Host) -> None:
+        """A crashed pool host restarted: drain any parked backlog."""
+        self._emit("pool_worker_restored", worker=host.name)
+        self._replay_stranded()
+        self._sample_gauges()
+
+    def _replace(
+        self, victims: list[tuple[TickRequest, CompletionFn]], crashed: str
+    ) -> None:
+        for req, cb in victims:
+            req.rebalances += 1
+            self.rebalanced += 1
+            if self._instruments is not None:
+                self._instruments[5].inc(worker=crashed)
+                self._count(req.tenant, "rebalanced")
+            self._place(req, cb)
+
+    def _replay_stranded(self) -> None:
+        if not self._stranded or not self.live_workers():
+            return
+        backlog, self._stranded = self._stranded, []
+        for req, cb in backlog:
+            self._place(req, cb)
+
+    # ------------------------------------------------------------------
+    # Metrics / placement views
+    # ------------------------------------------------------------------
+    def utilization(self, now: float | None = None) -> float:
+        """Mean thread demand over capacity across live workers."""
+        live = [w for w in self.workers if w.up]
+        if not live:
+            return 0.0
+        return sum(w.load() for w in live) / len(live)
+
+    def queue_depth(self) -> int:
+        """Total queued requests across the pool."""
+        return sum(w.queue_depth() for w in self.workers)
+
+    def select_host(self, node_name: str) -> Host:
+        """Least-loaded live host, for pool-mediated node placement.
+
+        This is the hook :class:`repro.core.switcher.Switcher` uses
+        when its server side is a pool instead of a single machine:
+        long-lived node migrations land on whichever worker has the
+        most headroom at migration time.
+        """
+        live = self.live_workers()
+        if not live:
+            raise RuntimeError("no live worker to place on")
+        return min(live, key=lambda w: (w.load(), w.host.name)).host
+
+    def _sample_gauges(self) -> None:
+        if self._instruments is None:
+            return
+        _, _, qd, util, nworkers, _ = self._instruments
+        for w in self.workers:
+            qd.set(w.queue_depth(), worker=w.host.name)
+            util.set(w.load(), worker=w.host.name)
+        nworkers.set(len([w for w in self.workers if w.up]))
+
+    def _count(self, tenant: str, outcome: str) -> None:
+        if self._instruments is not None:
+            self._instruments[0].inc(tenant=tenant, outcome=outcome)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                kind, t=self.sim.now(), track="cloud", **fields
+            )

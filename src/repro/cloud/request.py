@@ -1,0 +1,68 @@
+"""Requests flowing through the serving layer.
+
+A :class:`TickRequest` is one robot control tick's worth of offloaded
+work (an ECN scan match or a VDP costmap+scoring pass) as seen by the
+cloud side: cycles to retire, the thread width the tenant was admitted
+at, and the tick deadline (``1/tick_rate``) the result must meet for
+the robot's Eq. 2c velocity to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compute.executor import DWA_PROFILE, ParallelProfile
+
+
+@dataclass
+class TickRequest:
+    """One offloaded tick in flight through the pool.
+
+    Parameters
+    ----------
+    tenant:
+        The issuing robot's name (the telemetry label).
+    seq:
+        Per-tenant tick sequence number.
+    cycles:
+        Reference cycles of offloaded work in this tick.
+    threads:
+        Thread-pool width the work runs at (the admission-negotiated
+        width, possibly downgraded below what the tenant asked for).
+    deadline_s:
+        Relative deadline: the tenant's tick period ``1/tick_rate``.
+    issued_at:
+        Virtual time the robot fired the tick.
+    profile:
+        Parallel-scaling profile of the work (VDP by default).
+    payload_bytes / reply_bytes:
+        Uplink / downlink datagram sizes (the 2.94 KB laser scan and
+        the small velocity command of the paper).
+    """
+
+    tenant: str
+    seq: int
+    cycles: float
+    threads: int
+    deadline_s: float
+    issued_at: float
+    profile: ParallelProfile = DWA_PROFILE
+    payload_bytes: int = 2940
+    reply_bytes: int = 64
+    #: Virtual time the request reached the pool (set by the pool).
+    arrival_at: float = field(default=0.0, compare=False)
+    #: How many times a worker crash forced this request to move.
+    rebalances: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {self.cycles}")
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline_s}")
+
+    @property
+    def absolute_deadline(self) -> float:
+        """EDF sort key: the virtual time the result is due."""
+        return self.issued_at + self.deadline_s

@@ -1,0 +1,87 @@
+"""Per-worker scheduling disciplines.
+
+A :class:`~repro.cloud.pool.PoolWorker` serves requests under one of
+two mechanics, selected by its scheduler:
+
+* **Queueing** (:class:`FifoScheduler`, :class:`EdfScheduler`) — each
+  request holds ``min(threads, capacity)`` cores for its full modeled
+  execution time; requests that do not fit wait in a queue ordered by
+  the policy (arrival order / earliest absolute deadline). No
+  backfill: the policy's head blocks until it fits, which keeps both
+  disciplines starvation-free and easy to reason about.
+* **Processor sharing** (:class:`ProcessorSharingScheduler`) — every
+  admitted request runs immediately; whenever the summed thread
+  demand exceeds the worker's hardware threads, all in-flight
+  requests slow down by the common factor ``capacity / demand``. This
+  is the event-driven realization of the analytical contention model
+  in :mod:`repro.extensions.fleet` (stretch = max(1, utilization)),
+  and the two are cross-validated in ``tests/test_cloud.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.request import TickRequest
+
+#: CLI / experiment spelling -> scheduler class (see :func:`make_scheduler`).
+SCHEDULER_NAMES = ("fifo", "edf", "ps")
+
+
+class Scheduler:
+    """Base scheduling policy for one worker's request queue."""
+
+    name = "scheduler"
+
+    #: True for disciplines where all admitted requests run
+    #: concurrently at a shared rate (no queue).
+    sharing = False
+
+    def pick(self, queue: list[TickRequest], now: float) -> int:
+        """Index into ``queue`` of the next request to start."""
+        raise NotImplementedError
+
+
+class FifoScheduler(Scheduler):
+    """Serve strictly in arrival order."""
+
+    name = "fifo"
+
+    def pick(self, queue: list[TickRequest], now: float) -> int:
+        return 0
+
+
+class EdfScheduler(Scheduler):
+    """Earliest absolute deadline first (``issued_at + 1/tick_rate``).
+
+    Ties break on arrival order (stable), so two tenants with the same
+    tick rate interleave deterministically.
+    """
+
+    name = "edf"
+
+    def pick(self, queue: list[TickRequest], now: float) -> int:
+        best = 0
+        for i in range(1, len(queue)):
+            if queue[i].absolute_deadline < queue[best].absolute_deadline:
+                best = i
+        return best
+
+
+class ProcessorSharingScheduler(Scheduler):
+    """All requests share the cores; overload stretches everyone."""
+
+    name = "ps"
+    sharing = True
+
+    def pick(self, queue: list[TickRequest], now: float) -> int:  # pragma: no cover
+        raise RuntimeError("processor sharing has no queue to pick from")
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Scheduler from its CLI spelling (``fifo`` / ``edf`` / ``ps``)."""
+    if name == "fifo":
+        return FifoScheduler()
+    if name == "edf":
+        return EdfScheduler()
+    if name == "ps":
+        return ProcessorSharingScheduler()
+    raise ValueError(f"unknown scheduler {name!r}; have {list(SCHEDULER_NAMES)}")

@@ -1,0 +1,205 @@
+"""Lightweight per-robot tick sources for fleet-scale serving runs.
+
+A :class:`RobotTenant` is *not* a full mission: it is the cloud-facing
+shadow of one LGV — a periodic process that issues one offloaded tick
+per control period (the 2.94 KB scan goes up, the velocity command
+comes back) and records what the serving layer did to its latency.
+Simulating K robots this way costs a few events per tick instead of a
+whole navigation stack each, which is what makes 64-robot capacity
+sweeps cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cloud.admission import TenantSpec
+from repro.cloud.pool import WorkerPool
+from repro.cloud.request import TickRequest
+from repro.control.velocity_law import max_velocity_oa
+from repro.sim.kernel import Process, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.fabric import FleetRadioNetwork
+    from repro.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One robot's verdict after a serving run."""
+
+    tenant: str
+    threads: int  # granted width (0 for a rejected, local-only robot)
+    ticks: int
+    served: int
+    lost: int  # uplink/downlink datagrams that never arrived
+    mean_latency_s: float
+    p95_latency_s: float
+    deadline_miss_rate: float
+    velocity_mps: float  # Eq. 2c at the p95 tick latency
+
+    @property
+    def stranded(self) -> bool:
+        """True when the tenant stopped being served entirely."""
+        return self.ticks > 0 and self.served == 0
+
+
+def _quantile(sorted_vals: list[float], q: float) -> float:
+    """Exact empirical quantile of a sorted sample (NaN when empty)."""
+    if not sorted_vals:
+        return math.nan
+    idx = max(0, math.ceil(q * len(sorted_vals)) - 1)
+    return sorted_vals[idx]
+
+
+class RobotTenant:
+    """One admitted robot streaming ticks through the pool.
+
+    Parameters
+    ----------
+    sim, spec, pool:
+        The simulation, the tenant's *granted* spec (threads as
+        admitted, possibly downgraded), and the serving pool.
+    radio:
+        Optional :class:`~repro.network.fabric.FleetRadioNetwork`; when
+        ``None`` ticks reach the pool instantly (pure serving studies,
+        e.g. the scheduler cross-validation tests).
+    phase_s:
+        First-tick offset. Staggering tenants evenly across the period
+        is what a real asynchronous fleet looks like; synchronized
+        phases (all zero) maximize contention bursts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: TenantSpec,
+        pool: WorkerPool,
+        radio: "FleetRadioNetwork | None" = None,
+        phase_s: float = 0.0,
+        payload_bytes: int = 2940,
+        reply_bytes: int = 64,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.pool = pool
+        self.radio = radio
+        self.phase_s = phase_s
+        self.payload_bytes = payload_bytes
+        self.reply_bytes = reply_bytes
+        self.telemetry = telemetry
+        self.seq = 0
+        self.served = 0
+        self.lost = 0
+        self.latencies: list[float] = []
+        #: Completion times of served ticks (crash-recovery evidence).
+        self.completion_times: list[float] = []
+        self._proc: Process | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def start(self) -> Process:
+        """Begin ticking at the spec's rate, offset by the phase."""
+        self._proc = self.sim.every(
+            1.0 / self.spec.tick_rate_hz,
+            self._tick,
+            label=f"tenant:{self.name}",
+            start_delay=self.phase_s,
+        )
+        return self._proc
+
+    def stop(self) -> None:
+        """Stop issuing ticks (mission over / tenant evicted)."""
+        if self._proc is not None:
+            self._proc.stop()
+
+    # ------------------------------------------------------------------
+    # One tick's life cycle
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.sim.now()
+        self.seq += 1
+        req = TickRequest(
+            tenant=self.name,
+            seq=self.seq,
+            cycles=self.spec.cycles,
+            threads=self.spec.threads,
+            deadline_s=self.spec.deadline_s,
+            issued_at=now,
+            profile=self.spec.profile,
+            payload_bytes=self.payload_bytes,
+            reply_bytes=self.reply_bytes,
+        )
+        if self.radio is None:
+            self.pool.submit(req, self._completed)
+            return
+        up = self.radio.uplink_latency(self.name, self.payload_bytes, now)
+        if up is None:
+            self._lose(req)
+            return
+        self.sim.schedule_after(
+            up,
+            lambda: self.pool.submit(req, self._completed),
+            label=f"uplink:{self.name}",
+        )
+
+    def _completed(self, req: TickRequest, t: float) -> None:
+        if self.radio is not None:
+            down = self.radio.downlink_latency(self.name, self.reply_bytes, t)
+            if down is None:
+                self._lose(req)
+                return
+            t = t + down
+        latency = t - req.issued_at
+        self.served += 1
+        self.latencies.append(latency)
+        self.completion_times.append(t)
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.histogram(
+                "cloud_tick_latency_seconds",
+                "end-to-end tick latency (issue to command) per tenant",
+            ).observe(latency, tenant=self.name)
+            if latency > req.deadline_s:
+                tel.metrics.counter(
+                    "cloud_tick_missed_total",
+                    "served ticks that blew their deadline, per tenant",
+                ).inc(tenant=self.name)
+
+    def _lose(self, req: TickRequest) -> None:
+        self.lost += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "cloud_tick_lost_total",
+                "ticks lost to the radio (either direction), per tenant",
+            ).inc(tenant=self.name)
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+    def stats(self) -> TenantStats:
+        """Summarize the run for this tenant."""
+        lats = sorted(self.latencies)
+        mean = sum(lats) / len(lats) if lats else math.nan
+        p95 = _quantile(lats, 0.95)
+        misses = sum(1 for v in lats if v > self.spec.deadline_s)
+        miss_rate = misses / len(lats) if lats else 1.0
+        velocity = (
+            max_velocity_oa(p95, hardware_cap=1.0) if lats else 0.0
+        )
+        return TenantStats(
+            tenant=self.name,
+            threads=self.spec.threads,
+            ticks=self.seq,
+            served=self.served,
+            lost=self.lost,
+            mean_latency_s=mean,
+            p95_latency_s=p95,
+            deadline_miss_rate=miss_rate,
+            velocity_mps=velocity,
+        )

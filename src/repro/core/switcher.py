@@ -12,10 +12,26 @@ lands on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.compute.host import Host
 from repro.core.migration import MigrationPlan
 from repro.middleware.graph import Graph
+
+
+@runtime_checkable
+class ServerPlacement(Protocol):
+    """Anything that can pick a server host for a node.
+
+    :class:`repro.cloud.WorkerPool` satisfies this: when the Switcher's
+    server side is a pool, each migrated node lands on whichever
+    worker the pool selects (least loaded at migration time) instead
+    of one fixed machine.
+    """
+
+    def select_host(self, node_name: str) -> Host:  # pragma: no cover
+        """Destination host for ``node_name``."""
+        ...
 
 
 @dataclass
@@ -36,7 +52,10 @@ class Switcher:
     graph:
         The node graph whose placements are being changed.
     lgv_host, server_host:
-        The two placement targets.
+        The two placement targets. ``server_host`` may also be a
+        :class:`ServerPlacement` (e.g. a ``repro.cloud.WorkerPool``) —
+        then server-side placement is pool-mediated: every ``to_server``
+        move asks the pool which worker to land on.
     server_threads:
         Thread-pool width given to parallelizable nodes when they run
         on the server (the §V acceleration knob). On the LGV nodes
@@ -47,12 +66,17 @@ class Switcher:
         self,
         graph: Graph,
         lgv_host: Host,
-        server_host: Host,
+        server_host: Host | ServerPlacement,
         server_threads: dict[str, int] | None = None,
     ) -> None:
         self.graph = graph
         self.lgv_host = lgv_host
-        self.server_host = server_host
+        if isinstance(server_host, Host):
+            self.server_host: Host | None = server_host
+            self.server_pool: ServerPlacement | None = None
+        else:
+            self.server_host = None
+            self.server_pool = server_host
         self.server_threads = dict(server_threads or {})
         self.records: list[MigrationRecord] = []
 
@@ -64,12 +88,35 @@ class Switcher:
         """
         total = 0.0
         for name in plan.to_server:
-            total += self._move(name, self.server_host, reason)
+            total += self._move(name, self._server_dest(name), reason, server_side=True)
         for name in plan.to_robot:
-            total += self._move(name, self.lgv_host, reason)
+            total += self._move(name, self.lgv_host, reason, server_side=False)
         return total
 
-    def _move(self, name: str, dest: Host, reason: str = "") -> float:
+    def _server_dest(self, name: str) -> Host:
+        """Server-side destination: the fixed host, or the pool's pick.
+
+        Pool placement is sticky: a node already sitting on a live
+        worker stays there (no ping-pong between workers on every
+        re-applied plan); only new arrivals — and nodes whose worker
+        crashed — ask the pool for a destination.
+        """
+        if self.server_pool is not None:
+            node = self.graph.nodes.get(name)
+            if (
+                node is not None
+                and node.host is not None
+                and not node.host.on_robot
+                and node.host.up
+            ):
+                return node.host
+            return self.server_pool.select_host(name)
+        assert self.server_host is not None
+        return self.server_host
+
+    def _move(
+        self, name: str, dest: Host, reason: str = "", server_side: bool = False
+    ) -> float:
         node = self.graph.nodes.get(name)
         if node is None:
             return 0.0
@@ -77,10 +124,10 @@ class Switcher:
             # No move, but the thread-width config still applies: a
             # changed ``server_threads`` entry must reach nodes already
             # sitting on the server (previously silently skipped).
-            node.threads = self.server_threads.get(name, 1) if dest is self.server_host else 1
+            node.threads = self.server_threads.get(name, 1) if server_side else 1
             return 0.0
         pause = self.graph.move_node(name, dest, reason=reason)
-        if dest is self.server_host:
+        if server_side:
             node.threads = self.server_threads.get(name, 1)
         else:
             node.threads = 1

@@ -22,9 +22,12 @@ from repro.experiments.ablations import (
     run_ablation_velocity_adaptation,
 )
 from repro.experiments.chaos import run_chaos
+from repro.experiments.fleet_scale import run_fleet, run_fleet_chaos
 
 __all__ = [
     "run_chaos",
+    "run_fleet",
+    "run_fleet_chaos",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -53,6 +53,12 @@ SCENARIOS: dict[str, FaultPlan] = {
         )
     ),
     "migration_interrupt": FaultPlan((MigrationInterrupt(start=0.0),)),
+    # Fleet-scale cell: the crash hits one repro.cloud pool worker
+    # instead of the single mission's server — exercised through
+    # run_fleet_chaos rather than the navigation mission.
+    "pool_worker_crash": FaultPlan(
+        (ServerCrash(start=5.0, restart_after=8.0, host="cloud-vm0"),)
+    ),
 }
 
 
@@ -135,6 +141,34 @@ def _one_run(
     )
 
 
+def _one_pool_run(
+    scenario: str, timeout_s: float, telemetry: Telemetry | None
+) -> ChaosRun:
+    """The fleet-scale cell: ServerCrash against a worker pool.
+
+    "success" here means the serving layer's §VI analogue: no tenant
+    is permanently stranded and every one keeps completing ticks after
+    the crash. ``retreats`` counts rebalanced requests (the pool's
+    recovery actions) and ``distance_m`` is 0 — tick sources do not
+    drive anywhere.
+    """
+    from repro.experiments.fleet_scale import run_fleet_chaos
+
+    res = run_fleet_chaos(
+        sim_time_s=min(20.0, timeout_s), telemetry=telemetry
+    )
+    reason = "" if res.success else f"stranded: {', '.join(res.stranded)}"
+    return ChaosRun(
+        scenario=scenario,
+        policy="adaptive",
+        success=res.success,
+        reason=reason,
+        time_s=res.sim_time_s,
+        distance_m=0.0,
+        retreats=res.rebalanced,
+    )
+
+
 def run_chaos(
     scenarios: tuple[str, ...] | None = None,
     timeout_s: float = 300.0,
@@ -152,6 +186,9 @@ def run_chaos(
         raise ValueError(f"unknown scenario(s): {unknown}; have {list(SCENARIOS)}")
     runs: list[ChaosRun] = []
     for name in names:
+        if name == "pool_worker_crash":
+            runs.append(_one_pool_run(name, timeout_s, telemetry))
+            continue
         runs.append(_one_run(name, SCENARIOS[name], True, timeout_s, telemetry))
         if name == "link_outage":
             runs.append(_one_run(name, SCENARIOS[name], False, timeout_s, telemetry))

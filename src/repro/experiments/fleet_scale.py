@@ -1,0 +1,646 @@
+"""Fleet-scale serving: the capacity curve of ``repro.cloud``.
+
+The paper closes (§VIII-E) by arguing that offloading should save
+"financial cost and resource usage on the cloud servers" — which only
+matters once *several* robots share the serving side. This experiment
+simulates a fleet of K lightweight robot tenants (periodic tick
+sources, not full missions — see :mod:`repro.cloud.tenants`) streaming
+VDP work through a :class:`~repro.cloud.WorkerPool`, and sweeps the
+fleet size to produce the capacity curve:
+
+* under **admission control** the Eq. 2c gate rejects (or downgrades)
+  tenants whose projected p95 tick latency would no longer beat their
+  local baseline — so every *admitted* tenant keeps its deadline;
+* under **admit-all** the same fleet is let in unconditionally — past
+  the capacity knee the queues grow without bound and everyone's p95
+  blows through the tick deadline.
+
+The DES curve is cross-referenced against the analytical fluid model
+of :mod:`repro.extensions.fleet` (stretch = max(1, utilization)), and
+the single-robot point doubles as an identity check: one tenant on one
+FIFO worker with no radio must pay exactly the fig13 offloaded-tick
+quantity ``exec_time + 2 * wired_latency``.
+
+``run_fleet_chaos`` is the fault-injection variant: a
+:class:`~repro.faults.ServerCrash` kills one pool worker mid-run and
+the pool's rebalance path must keep every tenant served (the
+``pool_worker_crash`` cell of the chaos matrix).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cloud import (
+    AdmissionController,
+    RobotTenant,
+    TenantSpec,
+    TenantStats,
+    WorkerPool,
+    make_balancer,
+    make_scheduler,
+)
+from repro.compute.executor import DWA_PROFILE, ExecutionModel
+from repro.compute.host import Host
+from repro.compute.platform import CLOUD_SERVER, TURTLEBOT3_PI, PlatformSpec
+from repro.control.velocity_law import max_velocity_oa
+from repro.faults import FaultInjector, FaultPlan, ServerCrash
+from repro.network.fabric import FleetRadioNetwork
+from repro.network.signal import WapSite
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+#: Ring radius (m) robots park at around their WAP: well inside the
+#: solid-signal zone, so radio loss stays a small deterministic tail.
+_PARK_RADIUS_M = 5.0
+
+
+def _jsonable(x: float) -> float | None:
+    """NaN -> None so the artifact stays strict JSON."""
+    return None if isinstance(x, float) and math.isnan(x) else x
+
+
+def _analytic_vdp_s(
+    n_robots: int,
+    workers: int,
+    server: PlatformSpec,
+    cycles: float,
+    threads: int,
+    tick_rate_hz: float,
+    network_latency_s: float,
+) -> float:
+    """The fluid-model tick makespan (extensions.fleet, pool-sized).
+
+    Identical to :meth:`repro.extensions.fleet.FleetServerModel
+    .service_time` for ``workers == 1``; the capacity generalizes to
+    ``workers * hardware_threads`` for a pool.
+    """
+    t_iso = ExecutionModel(server).exec_time(cycles, threads, DWA_PROFILE)
+    width = min(threads, server.hardware_threads)
+    demand = n_robots * tick_rate_hz * t_iso * width
+    capacity = workers * server.hardware_threads
+    stretch = max(1.0, demand / capacity)
+    return t_iso * stretch + 2.0 * network_latency_s
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """One fleet size served under one admission policy."""
+
+    policy: str  # "admission" | "admit-all"
+    admitted: int
+    downgraded: int
+    rejected: int
+    ticks: int
+    served: int
+    lost: int
+    worst_admitted_p95_s: float
+    admitted_miss_rate: float  # deadline misses over served admitted ticks
+    mean_velocity_mps: float  # fleet mean, rejected robots at local v
+    min_velocity_mps: float
+    deadline_ok: bool  # every admitted tenant held its deadline
+    tenants: tuple[TenantStats, ...]
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """Both policies at one fleet size, plus the analytical reference."""
+
+    n_robots: int
+    analytic_vdp_s: float
+    admission: PolicyOutcome
+    admit_all: PolicyOutcome
+
+
+@dataclass(frozen=True)
+class IdentityCheck:
+    """Single tenant, one FIFO worker, no radio: latency == exec_time.
+
+    ``expected_vdp_s`` adds the two wired one-way latencies — the same
+    per-tick quantity the fig13 end-to-end path pays for an offloaded
+    VDP tick, tying the serving layer back to the single-robot story.
+    """
+
+    measured_mean_s: float
+    expected_exec_s: float
+    network_rtt_s: float
+    expected_vdp_s: float
+    max_abs_err_s: float
+
+    @property
+    def exact(self) -> bool:
+        # issue-time subtraction leaves ~1e-17 of float noise
+        return self.max_abs_err_s <= 1e-12
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """The capacity sweep."""
+
+    robots: int
+    workers: int
+    scheduler: str
+    balancer: str
+    seed: int
+    sim_time_s: float
+    tick_rate_hz: float
+    threads: int
+    local_vdp_s: float
+    points: tuple[CapacityPoint, ...]
+    identity: IdentityCheck
+
+    @property
+    def capacity_admit_all(self) -> int:
+        """Largest fleet admit-all serves without a deadline violation."""
+        best = 0
+        for p in self.points:
+            if not p.admit_all.deadline_ok:
+                break
+            best = p.n_robots
+        return best
+
+    @property
+    def admission_always_protects(self) -> bool:
+        """The headline claim: admitted tenants never blow deadlines."""
+        return all(p.admission.deadline_ok for p in self.points)
+
+    def point(self, n_robots: int) -> CapacityPoint:
+        for p in self.points:
+            if p.n_robots == n_robots:
+                return p
+        raise KeyError(f"no capacity point for n_robots={n_robots}")
+
+    # ------------------------------------------------------------------
+    # Rendering / artifact
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [
+            f"Fleet capacity: {self.workers} x {CLOUD_SERVER.name} pool, "
+            f"{self.scheduler} scheduler, {self.tick_rate_hz:.0f} Hz ticks, "
+            f"deadline {1.0 / self.tick_rate_hz:.2f} s",
+            f"{'K':>3}  {'analytic':>9}  "
+            f"{'admission (adm/dwn/rej)':>24}{'p95_s':>8}{'ok':>4}  "
+            f"{'admit-all p95_s':>16}{'ok':>4}",
+        ]
+        for p in self.points:
+            a, b = p.admission, p.admit_all
+            lines.append(
+                f"{p.n_robots:>3}  {p.analytic_vdp_s:>9.3f}  "
+                f"{a.admitted:>12}/{a.downgraded}/{a.rejected:<8}"
+                f"{a.worst_admitted_p95_s:>8.3f}{'y' if a.deadline_ok else 'N':>4}  "
+                f"{b.worst_admitted_p95_s:>16.3f}{'y' if b.deadline_ok else 'N':>4}"
+            )
+        lines.append(
+            f"-> admit-all capacity: {self.capacity_admit_all} robots; "
+            + (
+                "admission control held every admitted tenant's deadline"
+                if self.admission_always_protects
+                else "ADMISSION CONTROL FAILED TO PROTECT A TENANT"
+            )
+        )
+        i = self.identity
+        lines.append(
+            f"-> identity (K=1, fifo, no radio): measured {i.measured_mean_s:.6f} s "
+            f"vs exec {i.expected_exec_s:.6f} s "
+            f"(max |err| {i.max_abs_err_s:.2e}; +rtt -> vdp {i.expected_vdp_s:.6f} s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": {
+                "robots": self.robots,
+                "workers": self.workers,
+                "scheduler": self.scheduler,
+                "balancer": self.balancer,
+                "seed": self.seed,
+                "sim_time_s": self.sim_time_s,
+                "tick_rate_hz": self.tick_rate_hz,
+                "threads": self.threads,
+                "local_vdp_s": self.local_vdp_s,
+                "server": CLOUD_SERVER.name,
+            },
+            "identity": {
+                "measured_mean_s": _jsonable(self.identity.measured_mean_s),
+                "expected_exec_s": self.identity.expected_exec_s,
+                "network_rtt_s": self.identity.network_rtt_s,
+                "expected_vdp_s": self.identity.expected_vdp_s,
+                "max_abs_err_s": self.identity.max_abs_err_s,
+                "exact": self.identity.exact,
+            },
+            "capacity_admit_all": self.capacity_admit_all,
+            "admission_always_protects": self.admission_always_protects,
+            "points": [
+                {
+                    "n_robots": p.n_robots,
+                    "analytic_vdp_s": p.analytic_vdp_s,
+                    "policies": {
+                        o.policy: {
+                            "admitted": o.admitted,
+                            "downgraded": o.downgraded,
+                            "rejected": o.rejected,
+                            "ticks": o.ticks,
+                            "served": o.served,
+                            "lost": o.lost,
+                            "worst_admitted_p95_s": _jsonable(
+                                o.worst_admitted_p95_s
+                            ),
+                            "admitted_miss_rate": _jsonable(o.admitted_miss_rate),
+                            "mean_velocity_mps": _jsonable(o.mean_velocity_mps),
+                            "min_velocity_mps": _jsonable(o.min_velocity_mps),
+                            "deadline_ok": o.deadline_ok,
+                            "tenants": [
+                                {
+                                    "tenant": t.tenant,
+                                    "threads": t.threads,
+                                    "ticks": t.ticks,
+                                    "served": t.served,
+                                    "lost": t.lost,
+                                    "mean_latency_s": _jsonable(t.mean_latency_s),
+                                    "p95_latency_s": _jsonable(t.p95_latency_s),
+                                    "deadline_miss_rate": _jsonable(
+                                        t.deadline_miss_rate
+                                    ),
+                                    "velocity_mps": _jsonable(t.velocity_mps),
+                                }
+                                for t in o.tenants
+                            ],
+                        }
+                        for o in (p.admission, p.admit_all)
+                    },
+                }
+                for p in self.points
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, so equal runs are bit-identical."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+        return path
+
+
+# ----------------------------------------------------------------------
+# One serving run
+# ----------------------------------------------------------------------
+def _build_radio(
+    n_robots: int, wired_latency_s: float, seed: int
+) -> tuple[FleetRadioNetwork, dict[str, tuple[float, float]]]:
+    """Two-WAP access layer with robots parked on rings around them."""
+    waps = (WapSite(0.0, 0.0), WapSite(40.0, 0.0))
+    radio = FleetRadioNetwork(waps, wired_latency_s=wired_latency_s, seed=seed)
+    positions: dict[str, tuple[float, float]] = {}
+    for i in range(n_robots):
+        wap = waps[i % len(waps)]
+        angle = 2.399963229728653 * i  # golden-angle spacing, no overlap
+        positions[_tenant_name(i)] = (
+            wap.x + _PARK_RADIUS_M * math.cos(angle),
+            wap.y + _PARK_RADIUS_M * math.sin(angle),
+        )
+    return radio, positions
+
+
+def _tenant_name(i: int) -> str:
+    return f"robot{i:02d}"
+
+
+def _serve_fleet(
+    n_robots: int,
+    workers: int,
+    scheduler: str,
+    balancer: str,
+    admission: bool,
+    sim_time_s: float,
+    tick_rate_hz: float,
+    cycles: float,
+    threads: int,
+    local_vdp_s: float,
+    wired_latency_s: float,
+    seed: int,
+    use_radio: bool,
+    telemetry: "Telemetry | None",
+) -> PolicyOutcome:
+    """One fleet size under one policy; a fresh simulator each time."""
+    sim = Simulator()
+    hosts = [Host(f"cloud-vm{i}", CLOUD_SERVER) for i in range(workers)]
+    pool = WorkerPool(
+        sim,
+        hosts,
+        make_scheduler(scheduler),
+        make_balancer(balancer),
+        telemetry=telemetry,
+    )
+    controller = AdmissionController(
+        pool, network_latency_s=wired_latency_s, telemetry=telemetry
+    )
+    radio: FleetRadioNetwork | None = None
+    if use_radio:
+        radio, positions = _build_radio(n_robots, wired_latency_s, seed)
+
+    period = 1.0 / tick_rate_hz
+    tenants: list[RobotTenant] = []
+    stats: list[TenantStats] = []
+    rejected = downgraded = 0
+    v_local = max_velocity_oa(local_vdp_s, hardware_cap=1.0)
+    for i in range(n_robots):
+        spec = TenantSpec(
+            _tenant_name(i), cycles, threads, tick_rate_hz, local_vdp_s
+        )
+        if admission:
+            decision = controller.request_admission(spec)
+            if not decision.admitted:
+                rejected += 1
+                # The robot stays on its own silicon: local tick time,
+                # local Eq. 2c velocity, no cloud traffic at all.
+                stats.append(
+                    TenantStats(
+                        tenant=spec.name,
+                        threads=0,
+                        ticks=0,
+                        served=0,
+                        lost=0,
+                        mean_latency_s=local_vdp_s,
+                        p95_latency_s=local_vdp_s,
+                        deadline_miss_rate=0.0,
+                        velocity_mps=v_local,
+                    )
+                )
+                continue
+            if decision.downgraded:
+                downgraded += 1
+            granted = controller.admitted[spec.name]
+        else:
+            granted = spec
+        if radio is not None:
+            radio.attach(spec.name, positions[spec.name])
+        tenants.append(
+            RobotTenant(
+                sim,
+                granted,
+                pool,
+                radio=radio,
+                phase_s=(i / n_robots) * period,
+                telemetry=telemetry,
+            )
+        )
+    for t in tenants:
+        t.start()
+    sim.run(until=sim_time_s)
+
+    admitted_stats = [t.stats() for t in tenants]
+    stats.extend(admitted_stats)
+    served_p95s = [
+        s.p95_latency_s for s in admitted_stats if s.served > 0
+    ]
+    deadline = period
+    deadline_ok = bool(admitted_stats) and all(
+        s.served > 0 and s.p95_latency_s <= deadline for s in admitted_stats
+    )
+    served_total = sum(s.served for s in admitted_stats)
+    missed = sum(
+        round(s.deadline_miss_rate * s.served) for s in admitted_stats
+    )
+    velocities = [s.velocity_mps for s in stats]
+    return PolicyOutcome(
+        policy="admission" if admission else "admit-all",
+        admitted=len(tenants),
+        downgraded=downgraded,
+        rejected=rejected,
+        ticks=sum(s.ticks for s in admitted_stats),
+        served=served_total,
+        lost=sum(s.lost for s in admitted_stats),
+        worst_admitted_p95_s=max(served_p95s) if served_p95s else math.nan,
+        admitted_miss_rate=missed / served_total if served_total else math.nan,
+        mean_velocity_mps=sum(velocities) / len(velocities),
+        min_velocity_mps=min(velocities),
+        deadline_ok=deadline_ok,
+        tenants=tuple(sorted(stats, key=lambda s: s.tenant)),
+    )
+
+
+def _identity_check(
+    cycles: float, threads: int, tick_rate_hz: float, wired_latency_s: float
+) -> IdentityCheck:
+    """K=1, one FIFO worker, no radio: serving adds nothing to exec."""
+    sim = Simulator()
+    host = Host("cloud-vm0", CLOUD_SERVER)
+    pool = WorkerPool(
+        sim, [host], make_scheduler("fifo"), make_balancer("round-robin")
+    )
+    spec = TenantSpec("robot00", cycles, threads, tick_rate_hz, 1.0)
+    tenant = RobotTenant(sim, spec, pool)
+    tenant.start()
+    sim.run(until=4.0 / tick_rate_hz + 1e-9)
+    expected = host.exec_time(cycles, threads, DWA_PROFILE)
+    lats = tenant.latencies
+    mean = sum(lats) / len(lats) if lats else math.nan
+    err = max((abs(v - expected) for v in lats), default=math.nan)
+    rtt = 2.0 * wired_latency_s
+    return IdentityCheck(
+        measured_mean_s=mean,
+        expected_exec_s=expected,
+        network_rtt_s=rtt,
+        expected_vdp_s=expected + rtt,
+        max_abs_err_s=err,
+    )
+
+
+def run_fleet(
+    robots: int = 24,
+    workers: int = 2,
+    scheduler: str = "edf",
+    balancer: str = "least-loaded",
+    sim_time_s: float = 20.0,
+    tick_rate_hz: float = 5.0,
+    vdp_cycles: float = 1.4e9,
+    threads: int = 8,
+    wired_latency_s: float = 0.02,
+    seed: int = 0,
+    use_radio: bool = True,
+    telemetry: "Telemetry | None" = None,
+) -> FleetResult:
+    """Sweep fleet size 1..robots under admission control vs admit-all.
+
+    Deterministic: the same arguments produce a bit-identical
+    :meth:`FleetResult.to_json` (per-tenant radio randomness is derived
+    from ``seed`` and the tenant name, never from wall-clock or
+    ``hash()``).
+    """
+    if robots < 1 or workers < 1:
+        raise ValueError("need robots >= 1 and workers >= 1")
+    local_vdp_s = vdp_cycles / TURTLEBOT3_PI.effective_hz
+    points = []
+    for n in range(1, robots + 1):
+        outcomes = {}
+        for admission in (True, False):
+            outcomes[admission] = _serve_fleet(
+                n,
+                workers,
+                scheduler,
+                balancer,
+                admission,
+                sim_time_s,
+                tick_rate_hz,
+                vdp_cycles,
+                threads,
+                local_vdp_s,
+                wired_latency_s,
+                seed,
+                use_radio,
+                telemetry,
+            )
+        points.append(
+            CapacityPoint(
+                n_robots=n,
+                analytic_vdp_s=_analytic_vdp_s(
+                    n,
+                    workers,
+                    CLOUD_SERVER,
+                    vdp_cycles,
+                    threads,
+                    tick_rate_hz,
+                    wired_latency_s,
+                ),
+                admission=outcomes[True],
+                admit_all=outcomes[False],
+            )
+        )
+    return FleetResult(
+        robots=robots,
+        workers=workers,
+        scheduler=scheduler,
+        balancer=balancer,
+        seed=seed,
+        sim_time_s=sim_time_s,
+        tick_rate_hz=tick_rate_hz,
+        threads=threads,
+        local_vdp_s=local_vdp_s,
+        points=tuple(points),
+        identity=_identity_check(
+            vdp_cycles, threads, tick_rate_hz, wired_latency_s
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Chaos: worker crash mid-run
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetChaosResult:
+    """A fleet run with one pool worker crashed mid-mission."""
+
+    robots: int
+    workers: int
+    scheduler: str
+    crash_at_s: float
+    restart_after_s: float
+    sim_time_s: float
+    rebalanced: int  # requests re-placed off the dead worker
+    stranded: tuple[str, ...]  # tenants that stopped being served
+    all_recovered: bool  # every tenant served ticks after the crash
+    tenants: tuple[TenantStats, ...]
+
+    @property
+    def success(self) -> bool:
+        return not self.stranded and self.all_recovered
+
+    def render(self) -> str:
+        lines = [
+            f"Fleet chaos: {self.robots} robots on {self.workers} workers "
+            f"({self.scheduler}); cloud-vm0 crashes at t={self.crash_at_s:.0f} s, "
+            f"restarts after {self.restart_after_s:.0f} s",
+            f"  rebalanced requests: {self.rebalanced}",
+        ]
+        for t in self.tenants:
+            lines.append(
+                f"  {t.tenant}: served {t.served}/{t.ticks}, "
+                f"p95 {t.p95_latency_s:.3f} s"
+            )
+        lines.append(
+            "-> every tenant kept being served through the crash"
+            if self.success
+            else f"-> STRANDED TENANTS: {list(self.stranded)}"
+        )
+        return "\n".join(lines)
+
+
+def run_fleet_chaos(
+    robots: int = 8,
+    workers: int = 2,
+    scheduler: str = "edf",
+    crash_at_s: float = 5.0,
+    restart_after_s: float = 8.0,
+    sim_time_s: float = 20.0,
+    tick_rate_hz: float = 5.0,
+    vdp_cycles: float = 1.4e9,
+    threads: int = 8,
+    seed: int = 0,
+    telemetry: "Telemetry | None" = None,
+) -> FleetChaosResult:
+    """Crash one pool worker mid-run; the survivors must absorb it.
+
+    ``ServerCrash`` fires on ``cloud-vm0`` via
+    :meth:`repro.faults.FaultInjector.for_pool`: the pool evicts and
+    re-places everything the dead worker held, and no tenant may end
+    the run stranded (every one keeps completing ticks after the
+    crash instant).
+    """
+    if workers < 2:
+        raise ValueError("a crash demo needs at least 2 workers")
+    sim = Simulator()
+    hosts = [Host(f"cloud-vm{i}", CLOUD_SERVER) for i in range(workers)]
+    pool = WorkerPool(
+        sim,
+        hosts,
+        make_scheduler(scheduler),
+        make_balancer("least-loaded"),
+        telemetry=telemetry,
+    )
+    period = 1.0 / tick_rate_hz
+    tenants = [
+        RobotTenant(
+            sim,
+            TenantSpec(_tenant_name(i), vdp_cycles, threads, tick_rate_hz, 1.0),
+            pool,
+            phase_s=(i / robots) * period,
+            telemetry=telemetry,
+        )
+        for i in range(robots)
+    ]
+    plan = FaultPlan(
+        (
+            ServerCrash(
+                start=crash_at_s, restart_after=restart_after_s, host="cloud-vm0"
+            ),
+        )
+    )
+    FaultInjector.for_pool(plan, pool, telemetry=telemetry).arm()
+    for t in tenants:
+        t.start()
+    sim.run(until=sim_time_s)
+
+    stats = tuple(t.stats() for t in tenants)
+    stranded = tuple(s.tenant for s in stats if s.stranded)
+    recovered = all(
+        any(ct > crash_at_s for ct in t.completion_times) for t in tenants
+    )
+    return FleetChaosResult(
+        robots=robots,
+        workers=workers,
+        scheduler=scheduler,
+        crash_at_s=crash_at_s,
+        restart_after_s=restart_after_s,
+        sim_time_s=sim_time_s,
+        rebalanced=pool.rebalanced,
+        stranded=stranded,
+        all_recovered=recovered,
+        tenants=stats,
+    )

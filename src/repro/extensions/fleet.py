@@ -10,6 +10,15 @@ Contention model: each robot's offloaded ticks need ``threads`` cores
 for ``exec_time`` seconds at ``tick_rate``; when the aggregate
 requested core-seconds exceed the machine, every request stretches by
 the utilization factor (processor-sharing).
+
+This closed-form curve is the *analytical companion* to the
+event-driven serving layer in :mod:`repro.cloud`, whose
+processor-sharing :class:`~repro.cloud.pool.PoolWorker` realizes the
+same discipline tick by tick — ``repro.cloud`` is the ground truth,
+and ``tests/test_cloud.py`` cross-validates this model against it in
+the stable region (and checks the saturation knee past it). For the
+runnable fleet experiment see ``python -m repro fleet`` and
+:func:`repro.experiments.fleet_scale.run_fleet`.
 """
 
 from __future__ import annotations

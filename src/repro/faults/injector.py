@@ -38,6 +38,7 @@ from repro.network.udp import ChannelFault
 from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.pool import WorkerPool
     from repro.telemetry import Telemetry
 
 
@@ -52,10 +53,19 @@ class FaultInjector:
         The declarative plan to realize.
     link, fabric, graph:
         The network/middleware objects carrying the injection points.
+        Each is optional: a fault whose injection point is missing
+        (e.g. a ``LinkOutage`` with no fabric) fails loudly at
+        :meth:`arm` time instead of silently doing nothing.
     lgv_host:
         The robot's host (wireless-hop detection for migration faults).
     server_hosts:
         Every offload target; ``host=None`` faults apply to all of them.
+    pool:
+        Optional :class:`repro.cloud.WorkerPool`. A ``ServerCrash`` on
+        one of its workers triggers the pool's rebalance path — every
+        request the dead worker held is re-placed on the survivors —
+        and a restart drains any backlog parked while everything was
+        down.
     telemetry:
         Optional event sink; defaults to ``sim.telemetry``.
     """
@@ -65,11 +75,12 @@ class FaultInjector:
         sim: Simulator,
         plan: FaultPlan,
         *,
-        link: WirelessLink,
-        fabric: NetworkFabric,
-        graph: Graph,
-        lgv_host: Host,
+        link: WirelessLink | None = None,
+        fabric: NetworkFabric | None = None,
+        graph: Graph | None = None,
+        lgv_host: Host | None = None,
         server_hosts: tuple[Host, ...],
+        pool: "WorkerPool | None" = None,
         telemetry: "Telemetry | None" = None,
     ) -> None:
         self.sim = sim
@@ -79,6 +90,7 @@ class FaultInjector:
         self.graph = graph
         self.lgv_host = lgv_host
         self.server_hosts = tuple(server_hosts)
+        self.pool = pool
         self.telemetry = telemetry if telemetry is not None else sim.telemetry
         #: Phase changes as ``(virtual_time, phase, fault_kind)`` with
         #: phase in {"injected", "cleared"}.
@@ -103,6 +115,26 @@ class FaultInjector:
             graph=workload.graph,
             lgv_host=workload.lgv_host,
             server_hosts=(workload.gateway_host, workload.cloud_host),
+            telemetry=telemetry,
+        )
+
+    @classmethod
+    def for_pool(
+        cls, plan: FaultPlan, pool, telemetry: "Telemetry | None" = None
+    ) -> "FaultInjector":
+        """Build an injector targeting a :class:`repro.cloud.WorkerPool`.
+
+        Server faults (``ServerCrash`` / ``ServerSlowdown``) resolve
+        against the pool's worker hosts and drive its rebalance path;
+        network and migration faults need injection points a bare pool
+        does not have, so plans containing them are rejected at
+        :meth:`arm`.
+        """
+        return cls(
+            pool.sim,
+            plan,
+            server_hosts=pool.worker_hosts(),
+            pool=pool,
             telemetry=telemetry,
         )
 
@@ -136,20 +168,34 @@ class FaultInjector:
     def _handlers(self, f: Fault):
         """(apply, clear) callbacks for one fault."""
         if isinstance(f, LinkOutage):
+            self._require(f, fabric=self.fabric)
             return self._link_outage(f)
         if isinstance(f, LinkDegradation):
+            self._require(f, link=self.link, fabric=self.fabric)
             return self._link_degradation(f)
         if isinstance(f, WapDeath):
+            self._require(f, link=self.link)
             return self._wap_death(f)
         if isinstance(f, ServerSlowdown):
             return self._server_slowdown(f)
         if isinstance(f, ServerCrash):
             return self._server_crash(f)
         if isinstance(f, PacketMangling):
+            self._require(f, fabric=self.fabric)
             return self._packet_mangling(f)
         if isinstance(f, MigrationInterrupt):
+            self._require(f, graph=self.graph, fabric=self.fabric)
             return self._migration_interrupt(f)
         raise TypeError(f"no handler for fault {f!r}")
+
+    def _require(self, f: Fault, **components) -> None:
+        """Fail loudly when a fault's injection point was not wired."""
+        missing = [name for name, c in components.items() if c is None]
+        if missing:
+            raise ValueError(
+                f"fault {f.kind!r} needs {missing} but this injector "
+                "was built without them (pool-only injector?)"
+            )
 
     # ------------------------------------------------------------------
     # Per-fault semantics
@@ -218,10 +264,16 @@ class FaultInjector:
         def apply() -> None:
             for h in hosts:
                 h.up = False
-                for name, node in self.graph.nodes.items():
-                    if node.host is h and not node._paused:
-                        self.graph.pause_node(name)
-                        frozen.append(name)
+                if self.graph is not None:
+                    for name, node in self.graph.nodes.items():
+                        if node.host is h and not node._paused:
+                            self.graph.pause_node(name)
+                            frozen.append(name)
+            # Pool-mediated serving: the crash triggers the rebalance
+            # path — everything the dead worker held is re-placed.
+            if self.pool is not None:
+                for h in hosts:
+                    self.pool.on_worker_down(h)
             self._emit(
                 "injected",
                 f,
@@ -232,13 +284,17 @@ class FaultInjector:
         def restart() -> None:
             for h in hosts:
                 h.up = True
-            for name in frozen:
-                node = self.graph.nodes.get(name)
-                # resume only what we froze and what is still stranded
-                # there — the framework may have rescued it meanwhile
-                if node is not None and node._paused and node.host in hosts:
-                    self.graph.resume_node(name)
+            if self.graph is not None:
+                for name in frozen:
+                    node = self.graph.nodes.get(name)
+                    # resume only what we froze and what is still stranded
+                    # there — the framework may have rescued it meanwhile
+                    if node is not None and node._paused and node.host in hosts:
+                        self.graph.resume_node(name)
             frozen.clear()
+            if self.pool is not None:
+                for h in hosts:
+                    self.pool.on_worker_up(h)
             self._emit("cleared", f, hosts=[h.name for h in hosts])
 
         if f.restart_after != float("inf"):

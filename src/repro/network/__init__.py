@@ -13,7 +13,7 @@ from repro.network.signal import PathLossModel, WapSite, link_quality
 from repro.network.link import WirelessLink
 from repro.network.udp import UdpChannel, UdpStats
 from repro.network.tcp import ReliableChannel
-from repro.network.fabric import NetworkFabric
+from repro.network.fabric import FleetRadioNetwork, NetworkFabric
 from repro.network.monitor import BandwidthMonitor, RttMonitor, SignalDirectionEstimator
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "UdpStats",
     "ReliableChannel",
     "NetworkFabric",
+    "FleetRadioNetwork",
     "BandwidthMonitor",
     "RttMonitor",
     "SignalDirectionEstimator",

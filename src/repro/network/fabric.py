@@ -9,10 +9,14 @@ energy is ignored, as the paper does.
 
 from __future__ import annotations
 
-from typing import Callable
+import zlib
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.compute.host import Host
 from repro.network.link import WirelessLink
+from repro.network.signal import WapSite
 from repro.network.tcp import ReliableChannel
 from repro.network.udp import UdpChannel
 
@@ -109,3 +113,95 @@ class NetworkFabric:
 
     def _wired(self, host_name: str) -> float:
         return self.wired_latency.get(host_name, 0.0)
+
+
+class FleetRadioNetwork:
+    """Radio access for a whole fleet: many robots, many WAPs.
+
+    Where :class:`NetworkFabric` models *one* robot's association in
+    full middleware detail, this models the fleet-scale experiment's
+    access layer: each attached robot gets its own
+    :class:`WirelessLink` to its nearest WAP (its own fading/jitter
+    randomness, so fleet runs stay a pure function of the seed) and an
+    uplink/downlink :class:`~repro.network.udp.UdpChannel` pair, with
+    one shared wired hop from the WAP fabric to the serving pool.
+
+    Parameters
+    ----------
+    waps:
+        Access-point sites covering the operating area.
+    wired_latency_s:
+        One-way WAP -> pool latency (LAN for an edge pool, tens of ms
+        for a datacenter).
+    seed:
+        Base seed; each robot derives an independent stream from it
+        and its (stable) name hash.
+    """
+
+    def __init__(
+        self,
+        waps: Sequence[WapSite],
+        wired_latency_s: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if not waps:
+            raise ValueError("need at least one WAP")
+        self.waps = tuple(waps)
+        self.wired_latency_s = wired_latency_s
+        self.seed = seed
+        self._links: dict[str, WirelessLink] = {}
+        self._uplinks: dict[str, UdpChannel] = {}
+        self._downlinks: dict[str, UdpChannel] = {}
+
+    def attach(
+        self,
+        tenant: str,
+        xy: tuple[float, float],
+        seed: int | None = None,
+    ) -> WirelessLink:
+        """Associate ``tenant`` (parked at ``xy``) with its nearest WAP."""
+        if tenant in self._links:
+            raise ValueError(f"tenant {tenant!r} already attached")
+        wap = min(self.waps, key=lambda w: w.distance_to(*xy))
+        if seed is None:
+            seed = (self.seed * 2654435761 + zlib.crc32(tenant.encode())) % 2**31
+        link = WirelessLink(
+            wap, lambda: xy, np.random.default_rng(seed)
+        )
+        self._links[tenant] = link
+        self._uplinks[tenant] = UdpChannel(link)
+        self._downlinks[tenant] = UdpChannel(link)
+        return link
+
+    def link(self, tenant: str) -> WirelessLink:
+        """The tenant's radio (fault-injection / inspection handle)."""
+        return self._links[tenant]
+
+    def tenants(self) -> tuple[str, ...]:
+        """Attached tenant names, in attach order."""
+        return tuple(self._links)
+
+    def uplink_latency(
+        self, tenant: str, n_bytes: int, now: float
+    ) -> float | None:
+        """Robot -> pool datagram latency, ``None`` when lost."""
+        air = self._uplinks[tenant].send(n_bytes, now)
+        if air is None:
+            return None
+        return air + self.wired_latency_s
+
+    def downlink_latency(
+        self, tenant: str, n_bytes: int, now: float
+    ) -> float | None:
+        """Pool -> robot datagram latency, ``None`` when lost."""
+        air = self._downlinks[tenant].send(n_bytes, now)
+        if air is None:
+            return None
+        return air + self.wired_latency_s
+
+    def flush_held(self, now: float) -> int:
+        """Drain every tenant's kernel-held packets (link recovery)."""
+        return sum(
+            self._uplinks[t].flush(now) + self._downlinks[t].flush(now)
+            for t in self._links
+        )

@@ -17,6 +17,7 @@ from repro.telemetry.instrument import (
     GraphInstruments,
     instrument_graph,
     instrument_hosts,
+    instrument_pool,
     instrument_simulator,
     instrument_workload,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "Tracer",
     "instrument_graph",
     "instrument_hosts",
+    "instrument_pool",
     "instrument_simulator",
     "instrument_workload",
     "render_report",

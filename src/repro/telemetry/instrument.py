@@ -124,6 +124,37 @@ def instrument_hosts(
     return flusher
 
 
+def instrument_pool(
+    telemetry: Telemetry,
+    pool,
+    period_s: float = 0.5,
+) -> "Process":
+    """Periodic sampler for a :class:`repro.cloud.WorkerPool`.
+
+    The pool already publishes its per-worker
+    ``cloud_pool_queue_depth`` / ``cloud_pool_utilization`` gauges on
+    every submit/complete when built with a telemetry object; this
+    flusher adds the *time-driven* samples an autoscaler (or a
+    dashboard) wants between requests — a worker whose tenants all
+    went quiet still reports its idleness — plus the host-occupancy
+    view (``cloud_host_occupancy``: time-averaged claimed threads).
+    """
+    occ = telemetry.metrics.gauge(
+        "cloud_host_occupancy", "time-averaged claimed threads per pool host"
+    )
+
+    def flush() -> None:
+        now = pool.sim.now()
+        pool._sample_gauges()
+        for w in pool.workers:
+            occ.set(w.host.mean_occupancy(now), worker=w.host.name)
+
+    flush()
+    flusher = pool.sim.every(period_s, flush, label="telemetry:pool")
+    telemetry.register_flusher(flusher)
+    return flusher
+
+
 def instrument_workload(
     telemetry: Telemetry,
     sim: "Simulator",

@@ -322,3 +322,105 @@ class TestNetworkFabric:
         res = self.fabric.send(self.lgv, self.gw, 1000, 0.0)
         assert res is None
         assert len(self.energy) == before  # no airtime, no energy
+
+
+class TestReliableChannelExhaustion:
+    """Satellite coverage: the retry budget's exact arithmetic."""
+
+    def test_retry_exhaustion_formula(self):
+        # out of range: rate 0, every attempt fails, backoff caps at 2^5
+        link, _ = make_link((500.0, 0.0))
+        ch = ReliableChannel(link, rto_s=0.1, max_retries=7)
+        lat = ch.send(500, 0.0)
+        backoff = sum(0.1 * 2 ** min(a, 5) for a in range(8))  # 12.7
+        assert lat == pytest.approx(backoff + 0.1)
+        assert ch.retransmissions == 8  # max_retries + 1 attempts burned
+
+    def test_default_budget_exhaustion(self):
+        link, _ = make_link((500.0, 0.0))
+        ch = ReliableChannel(link)  # rto 0.2, max_retries 12
+        lat = ch.send(500, 0.0)
+        expected = 0.2 * (sum(2 ** min(a, 5) for a in range(13)) + 1)
+        assert lat == pytest.approx(expected)
+        assert math.isfinite(lat)
+
+    def test_zero_retries_gives_up_after_one_attempt(self):
+        link, _ = make_link((500.0, 0.0))
+        ch = ReliableChannel(link, rto_s=0.3, max_retries=0)
+        assert ch.send(500, 0.0) == pytest.approx(0.3 + 0.3)
+        assert ch.retransmissions == 1
+
+    def test_latency_grows_with_loss_rate(self):
+        # quality ~1.0 at 3 m, ~0.8 at 11 m, ~0.6 at 13 m: the mean
+        # reliable-send latency must climb with the loss rate
+        means = []
+        for d in (3.0, 11.0, 13.0):
+            link, _ = make_link((d, 0.0), seed=7)
+            ch = ReliableChannel(link)
+            lats = [ch.send(500, i * 0.1) for i in range(200)]
+            means.append(sum(lats) / len(lats))
+        assert means[0] < means[1] < means[2]
+
+    def test_out_of_range_counts_every_attempt(self):
+        link, _ = make_link((500.0, 0.0))
+        ch = ReliableChannel(link, max_retries=3)
+        ch.send(100, 0.0)
+        ch.send(100, 1.0)
+        assert ch.retransmissions == 8  # 2 sends x (3 + 1) attempts
+
+
+class TestFleetRadioNetwork:
+    def _net(self, **kw):
+        from repro.network import FleetRadioNetwork
+
+        waps = (WapSite(0.0, 0.0), WapSite(40.0, 0.0))
+        return FleetRadioNetwork(waps, **kw)
+
+    def test_needs_a_wap(self):
+        from repro.network import FleetRadioNetwork
+
+        with pytest.raises(ValueError):
+            FleetRadioNetwork(())
+
+    def test_attach_picks_nearest_wap(self):
+        net = self._net()
+        near0 = net.attach("r0", (2.0, 1.0))
+        near1 = net.attach("r1", (38.0, 1.0))
+        assert near0.wap is net.waps[0]
+        assert near1.wap is net.waps[1]
+
+    def test_attach_twice_rejected(self):
+        net = self._net()
+        net.attach("r0", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            net.attach("r0", (3.0, 1.0))
+
+    def test_latency_includes_wired_hop(self):
+        net = self._net(wired_latency_s=0.02)
+        net.attach("r0", (2.0, 1.0))
+        up = net.uplink_latency("r0", 1000, 0.0)
+        assert up is not None and up > 0.02
+
+    def test_per_tenant_streams_independent_and_seeded(self):
+        a = self._net(seed=5)
+        b = self._net(seed=5)
+        for net in (a, b):
+            net.attach("r0", (2.0, 1.0))
+            net.attach("r1", (2.0, 1.0))
+        lat_a = [a.uplink_latency("r0", 500, i * 0.1) for i in range(20)]
+        lat_b = [b.uplink_latency("r0", 500, i * 0.1) for i in range(20)]
+        assert lat_a == lat_b  # same seed -> bit-identical
+        lat_other = [a.uplink_latency("r1", 500, i * 0.1) for i in range(20)]
+        assert lat_other != lat_a  # distinct per-tenant streams
+
+    def test_tenants_in_attach_order(self):
+        net = self._net()
+        net.attach("r1", (2.0, 1.0))
+        net.attach("r0", (2.0, 1.0))
+        assert net.tenants() == ("r1", "r0")
+
+    def test_flush_held_drains_all_tenants(self):
+        net = self._net()
+        net.attach("r0", (14.0, 0.0))  # blocked zone: sends are held
+        assert net.uplink_latency("r0", 500, 0.0) is None
+        assert net.flush_held(1.0) >= 0
