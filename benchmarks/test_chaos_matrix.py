@@ -36,3 +36,16 @@ def test_chaos_matrix(benchmark):
     pool_cell = result.run("pool_worker_crash")
     assert pool_cell.success
     assert pool_cell.retreats >= 1  # at least one request rebalanced
+
+    # the recovery cells (repro.recovery attached): a crash landing
+    # between PREPARE and COMMIT of the initial two-phase transfer,
+    # and a link outage that outlives the lease TTL, must both end in
+    # a completed mission — state rolled back or restored from
+    # checkpoints, never lost
+    handshake = result.run("crash_during_handshake")
+    assert handshake.success
+    assert handshake.retreats >= 1  # at least one checkpoint restoration
+
+    outage = result.run("lease_expiry_in_outage")
+    assert outage.success
+    assert outage.retreats >= 1

@@ -37,6 +37,7 @@ from repro.experiments import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_recovery,
     run_table1,
     run_table2,
     run_table3,
@@ -57,6 +58,7 @@ ARTIFACTS: dict[str, tuple[Callable[..., object], str]] = {
     "fig13": (run_fig13, "end-to-end energy & time matrix (slow, ~3 min)"),
     "fig14": (run_fig14, "max-vs-real velocity gap"),
     "chaos": (run_chaos, "single-fault chaos matrix, adaptive vs static (~4 min)"),
+    "recover": (run_recovery, "chaos-recovery cells with repro.recovery attached (~2 min)"),
     "fleet": (run_fleet, "fleet capacity curve: admission control vs admit-all"),
     "ablation-netqual": (run_ablation_netqual_metric, "Algorithm 2 vs latency threshold"),
     "ablation-granularity": (run_ablation_migration_granularity, "fine-grained vs whole offload"),
@@ -120,6 +122,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the fleet capacity curve as canonical JSON",
     )
+    recover = parser.add_argument_group("recover", "options for the 'recover' artifact")
+    recover.add_argument(
+        "--recover-out",
+        metavar="PATH",
+        default=None,
+        help="write the chaos-recovery result as canonical JSON",
+    )
     return parser
 
 
@@ -174,6 +183,9 @@ def main(argv: list[str] | None = None) -> int:
         if name == "fleet" and args.fleet_out:
             p = result.write_json(args.fleet_out)
             print(f"[fleet capacity JSON written to {p}]")
+        if name == "recover" and args.recover_out:
+            p = result.write_json(args.recover_out)
+            print(f"[chaos-recovery JSON written to {p}]")
 
     if tel is not None:
         trace_out = args.trace_out or (f"{'_'.join(names)}_trace.json" if trace_mode else None)

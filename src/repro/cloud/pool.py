@@ -341,6 +341,14 @@ class WorkerPool:
         """Workers that are up and accepting."""
         return [w for w in self.workers if w.up and w.accepting]
 
+    def has_live_workers(self) -> bool:
+        """Whether :meth:`select_host` could currently place anything.
+
+        Recovery-restore paths branch on this instead of catching the
+        ``RuntimeError`` an empty pool raises.
+        """
+        return bool(self.live_workers())
+
     def submit(self, req: TickRequest, on_complete: CompletionFn) -> None:
         """Route one request; parks it if every worker is down."""
         now = self.sim.now()

@@ -42,6 +42,10 @@ class Controller:
     max_accel: float = DEFAULT_MAX_ACCEL
     velocity_history: list[tuple[float, float]] = field(default_factory=list)
     accuracy_history: list[tuple[float, int]] = field(default_factory=list)
+    #: Recovery-ladder transitions ((t, mode)); written by
+    #: :class:`repro.recovery.RecoveryManager` so degraded intervals
+    #: line up with the velocity trace in post-run analysis.
+    degraded_history: list[tuple[float, str]] = field(default_factory=list)
     _accuracy_setters: list[Callable[[int], None]] = field(default_factory=list)
 
     def update_velocity(self, now: float, vdp_time_s: float) -> float:
@@ -67,6 +71,11 @@ class Controller:
         for setter in self._accuracy_setters:
             setter(level)
         self.accuracy_history.append((now, level))
+
+    def note_degraded_mode(self, now: float, mode: str) -> None:
+        """Record a recovery-ladder transition (``full_offload``,
+        ``t3_only``, ``all_local``)."""
+        self.degraded_history.append((now, mode))
 
     @property
     def current_velocity_cap(self) -> float:

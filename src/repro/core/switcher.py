@@ -12,7 +12,7 @@ lands on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.compute.host import Host
 from repro.core.migration import MigrationPlan
@@ -31,6 +31,23 @@ class ServerPlacement(Protocol):
 
     def select_host(self, node_name: str) -> Host:  # pragma: no cover
         """Destination host for ``node_name``."""
+        ...
+
+
+@runtime_checkable
+class NodeMigrator(Protocol):
+    """A non-atomic migration executor (:mod:`repro.recovery`).
+
+    ``request`` starts an asynchronous move and returns whether it was
+    accepted (a move already in flight for the node is rejected). The
+    migrator applies the thread width and reports back through
+    :meth:`Switcher.record_migration` only when the move commits.
+    """
+
+    def request(
+        self, name: str, dest: Host, threads: int = 1, reason: str = ""
+    ) -> bool:  # pragma: no cover
+        """Begin moving ``name`` to ``dest``; False if already in flight."""
         ...
 
 
@@ -79,6 +96,15 @@ class Switcher:
             self.server_pool = server_host
         self.server_threads = dict(server_threads or {})
         self.records: list[MigrationRecord] = []
+        #: Optional two-phase migration protocol (repro.recovery).
+        #: When set, ``_move`` hands state transfers to it instead of
+        #: the atomic ``Graph.move_node``; the MigrationRecord lands at
+        #: COMMIT time via :meth:`record_migration`.
+        self.migrator: NodeMigrator | None = None
+        #: Optional placement veto (repro.recovery's degraded-mode
+        #: ladder): ``offload_guard(name) -> bool``; ``False`` blocks a
+        #: ``to_server`` move while remote placements are distrusted.
+        self.offload_guard: Callable[[str], bool] | None = None
 
     def apply(self, plan: MigrationPlan, reason: str = "") -> float:
         """Execute a plan; returns the total pause time incurred (s).
@@ -88,6 +114,8 @@ class Switcher:
         """
         total = 0.0
         for name in plan.to_server:
+            if self.offload_guard is not None and not self.offload_guard(name):
+                continue
             total += self._move(name, self._server_dest(name), reason, server_side=True)
         for name in plan.to_robot:
             total += self._move(name, self.lgv_host, reason, server_side=False)
@@ -126,6 +154,10 @@ class Switcher:
             # sitting on the server (previously silently skipped).
             node.threads = self.server_threads.get(name, 1) if server_side else 1
             return 0.0
+        if self.migrator is not None:
+            threads = self.server_threads.get(name, 1) if server_side else 1
+            self.migrator.request(name, dest, threads=threads, reason=reason)
+            return 0.0
         pause = self.graph.move_node(name, dest, reason=reason)
         if server_side:
             node.threads = self.server_threads.get(name, 1)
@@ -135,6 +167,12 @@ class Switcher:
             MigrationRecord(self.graph.sim.now(), name, dest.name, pause)
         )
         return pause
+
+    def record_migration(self, name: str, dest: str, pause_s: float) -> None:
+        """Append a committed move (called back by a ``migrator``)."""
+        self.records.append(
+            MigrationRecord(self.graph.sim.now(), name, dest, pause_s)
+        )
 
     def placement(self) -> dict[str, str]:
         """Current host name of every node in the graph."""

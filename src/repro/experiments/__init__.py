@@ -23,9 +23,11 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.chaos import run_chaos
 from repro.experiments.fleet_scale import run_fleet, run_fleet_chaos
+from repro.experiments.recover import run_recovery
 
 __all__ = [
     "run_chaos",
+    "run_recovery",
     "run_fleet",
     "run_fleet_chaos",
     "run_table1",

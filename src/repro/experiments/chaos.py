@@ -53,6 +53,16 @@ SCENARIOS: dict[str, FaultPlan] = {
         )
     ),
     "migration_interrupt": FaultPlan((MigrationInterrupt(start=0.0),)),
+    # Recovery cells (repro.recovery attached): the crash lands while
+    # the initial offload's two-phase transfer is in flight — between
+    # PREPARE and COMMIT — so the protocol must observe the dead
+    # destination and roll back; the finite outage outlives the lease
+    # TTL, so supervision must declare the placements dead from missed
+    # heartbeats alone and restore them from checkpoints.
+    "crash_during_handshake": FaultPlan(
+        (ServerCrash(start=1.0, restart_after=20.0),)
+    ),
+    "lease_expiry_in_outage": FaultPlan((LinkOutage(start=8.0, duration=6.0),)),
     # Fleet-scale cell: the crash hits one repro.cloud pool worker
     # instead of the single mission's server — exercised through
     # run_fleet_chaos rather than the navigation mission.
@@ -60,6 +70,13 @@ SCENARIOS: dict[str, FaultPlan] = {
         (ServerCrash(start=5.0, restart_after=8.0, host="cloud-vm0"),)
     ),
 }
+
+#: Scenarios that run with the recovery subsystem attached (stateful
+#: 2PC migration + lease supervision); the rest run the bare framework.
+RECOVERY_SCENARIOS: tuple[str, ...] = (
+    "crash_during_handshake",
+    "lease_expiry_in_outage",
+)
 
 
 @dataclass(frozen=True)
@@ -141,6 +158,40 @@ def _one_run(
     )
 
 
+def _one_recovery_run(
+    scenario: str,
+    plan: FaultPlan,
+    timeout_s: float,
+    telemetry: Telemetry | None,
+) -> ChaosRun:
+    """A chaos cell with the recovery subsystem attached.
+
+    Identical mission to :func:`_one_run`, but migrations go through
+    the two-phase protocol and remote placements are lease-supervised;
+    ``retreats`` additionally counts the recovery manager's
+    checkpoint/fresh restorations (its analogue of a retreat).
+    """
+    from repro.recovery import attach_recovery
+
+    w, fw, runner = launch_navigation(
+        DEPLOYMENTS[2], timeout_s=timeout_s, telemetry=telemetry
+    )
+    manager = attach_recovery(fw, w.fabric, telemetry=telemetry)
+    FaultInjector.for_workload(plan, w, telemetry=telemetry).arm()
+    res = runner.run()
+    retreats = sum("retreat" in e.action for e in fw.events)
+    retreats += manager.restored_from_checkpoint + manager.restored_fresh
+    return ChaosRun(
+        scenario=scenario,
+        policy="adaptive",
+        success=res.success,
+        reason=res.reason,
+        time_s=res.completion_time_s,
+        distance_m=res.distance_m,
+        retreats=retreats,
+    )
+
+
 def _one_pool_run(
     scenario: str, timeout_s: float, telemetry: Telemetry | None
 ) -> ChaosRun:
@@ -188,6 +239,11 @@ def run_chaos(
     for name in names:
         if name == "pool_worker_crash":
             runs.append(_one_pool_run(name, timeout_s, telemetry))
+            continue
+        if name in RECOVERY_SCENARIOS:
+            runs.append(
+                _one_recovery_run(name, SCENARIOS[name], timeout_s, telemetry)
+            )
             continue
         runs.append(_one_run(name, SCENARIOS[name], True, timeout_s, telemetry))
         if name == "link_outage":

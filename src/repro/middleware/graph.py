@@ -257,32 +257,33 @@ class Graph:
                     old_host, new_host, pause, state_bytes, self.sim.now()
                 )
         self._record_migration(name, old_host, new_host, pause, state_bytes, reason)
-        node._paused = True
+        node.begin_pause(buffer=False)
         node.host = new_host
 
-        def resume() -> None:
-            node._paused = False
-            node._try_process()
-
         if pause > 0:
-            self.sim.schedule_after(pause, resume, label=f"migrate:{name}")
+            self.sim.schedule_after(pause, node.end_pause, label=f"migrate:{name}")
         else:
-            resume()
+            node.end_pause()
         return pause
 
     def pause_node(self, name: str) -> None:
-        """Freeze a node in place: it drops input until resumed.
+        """Freeze a node in place; input buffers until resumed.
 
         Models a crashed or unreachable process (repro.faults uses it
-        for server-crash containment); the node keeps its state.
+        for server-crash containment); the node keeps its state, and
+        messages delivered meanwhile are held in arrival order and
+        replayed by :meth:`resume_node` — a frozen process's queue
+        survives the freeze. Pausing an already-paused node is a no-op
+        (the existing buffer is preserved).
         """
-        self.nodes[name]._paused = True
+        self.nodes[name].begin_pause(buffer=True)
 
     def resume_node(self, name: str) -> None:
-        """Un-freeze a paused node and drain any queued work."""
-        node = self.nodes[name]
-        node._paused = False
-        node._try_process()
+        """Un-freeze a paused node, replaying buffered input in order.
+
+        Resuming a node that was never paused is a no-op.
+        """
+        self.nodes[name].end_pause()
 
     # ------------------------------------------------------------------
     # Observability

@@ -54,6 +54,13 @@ class Node:
         self._charged: float = 0.0
         self._extra_delay: float = 0.0
         self._paused = False
+        #: While paused: ``None`` means input is dropped (mid-migration
+        #: semantics — the state is in flight and deliveries would race
+        #: it); a list means input buffers and replays on resume in
+        #: publish order (crash containment / two-phase migration).
+        self._pause_buffer: list[tuple[str, Message]] | None = None
+        #: Monotone state version, bumped by every committed snapshot.
+        self.state_version: int = 0
         self.processed_count = 0
 
     # ------------------------------------------------------------------
@@ -68,7 +75,65 @@ class Node:
         Subclasses carrying big state (particle sets, costmaps) return
         its serialized size so the Switcher can charge transfer time.
         """
+        return self.state_size_bytes()
+
+    # ------------------------------------------------------------------
+    # Checkpointable state (repro.recovery)
+    # ------------------------------------------------------------------
+    def state_size_bytes(self) -> int:
+        """Serialized size of this node's mutable state (Eq. 1c input).
+
+        Both the migration transfer and the recovery checkpoint
+        shipments price their airtime from this number.
+        """
         return 256
+
+    def snapshot(self) -> object | None:
+        """Return an opaque copy of the node's mutable state.
+
+        ``None`` (the default) means the node is stateless: restoring
+        it is a no-op and a fresh replica is as good as the original.
+        Subclasses with real state (particle sets, costmaps, tracked
+        paths) return a deep-enough copy that later mutation of the
+        live node cannot corrupt the checkpoint.
+        """
+        return None
+
+    def restore(self, state: object) -> None:
+        """Install a state previously returned by :meth:`snapshot`.
+
+        Must be idempotent: restoring the same checkpoint twice leaves
+        the node exactly as restoring it once (rollback retries).
+        """
+
+    # ------------------------------------------------------------------
+    # Pause / resume (graph + recovery machinery)
+    # ------------------------------------------------------------------
+    def begin_pause(self, buffer: bool = False) -> None:
+        """Freeze the node. No-op if already paused (buffer preserved).
+
+        ``buffer=True`` keeps deliveries in arrival order for replay at
+        resume; ``buffer=False`` drops them (a state transfer in flight
+        would race any message processed meanwhile).
+        """
+        if self._paused:
+            return
+        self._paused = True
+        self._pause_buffer = [] if buffer else None
+
+    def end_pause(self) -> None:
+        """Un-freeze; replays any buffered input in publish order.
+
+        No-op when the node was never paused.
+        """
+        if not self._paused:
+            return
+        self._paused = False
+        buffered, self._pause_buffer = self._pause_buffer, None
+        if buffered:
+            for topic, msg in buffered:
+                self._deliver(topic, msg)
+        self._try_process()
 
     # ------------------------------------------------------------------
     # API used by subclasses inside callbacks
@@ -132,6 +197,8 @@ class Node:
 
     def _deliver(self, topic: str, msg: Message) -> None:
         if self._paused:
+            if self._pause_buffer is not None and topic in self._subs:
+                self._pause_buffer.append((topic, msg))
             return
         entry = self._subs.get(topic)
         if entry is None:

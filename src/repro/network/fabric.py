@@ -49,6 +49,8 @@ class NetworkFabric:
         self.uplink = UdpChannel(link)
         self.downlink = UdpChannel(link)
         self.control = ReliableChannel(link)
+        self.heartbeats_sent = 0
+        self.heartbeats_observed = 0
 
     # ------------------------------------------------------------------
     # Transport protocol
@@ -100,6 +102,22 @@ class NetworkFabric:
             self.energy_sink(self.link.tx_energy(n_bytes))
         other = dst if src.on_robot else src
         return air + self._wired(other.name)
+
+    def heartbeat(self, src: Host, dst: Host, n_bytes: int, now: float) -> float | None:
+        """Supervision datagram from ``src`` to ``dst``.
+
+        Rides the same best-effort channels as data traffic, so every
+        condition that silences the data plane — a crashed endpoint, a
+        blocked driver, loss in the air — silences heartbeats too.
+        ``None`` means the beat was not observed; the supervision layer
+        (:mod:`repro.recovery`) treats only this, never fault-injector
+        state, as its failure signal.
+        """
+        self.heartbeats_sent += 1
+        latency = self.send(src, dst, n_bytes, now)
+        if latency is not None:
+            self.heartbeats_observed += 1
+        return latency
 
     def flush_held(self, now: float) -> int:
         """Drain kernel-held packets after a link recovery; returns count.

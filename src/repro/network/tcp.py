@@ -8,6 +8,8 @@ to very large latencies rather than silence.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.network.link import WirelessLink
 
 
@@ -15,7 +17,31 @@ class ReliableChannel:
     """Retransmitting channel over a :class:`WirelessLink`.
 
     ``send`` always returns a latency; each failed delivery roll adds
-    one retransmission timeout.
+    one capped-exponential retransmission timeout.
+
+    Parameters
+    ----------
+    link:
+        The radio the retransmissions ride on.
+    rto_s:
+        Base retransmission timeout (the first retry's spacing).
+    max_retries:
+        Retransmission budget before the channel gives up pretending
+        it is fast and reports the accumulated backoff.
+    backoff_factor:
+        Multiplier between consecutive retry timeouts.
+    max_backoff_s:
+        Ceiling on a single retry's timeout; defaults to
+        ``rto_s * backoff_factor**5`` (the classic 5-doublings cap).
+    jitter_frac:
+        Fractional jitter applied to each backoff interval: retry
+        ``i`` waits ``backoff(i) * (1 + U(-jitter_frac, jitter_frac))``.
+        Zero (the default) draws no randomness at all, keeping
+        unjittered runs bit-identical to builds without this knob.
+    jitter_seed:
+        Seed for the dedicated jitter generator — jitter never touches
+        the link's own randomness, so two channels with the same seed
+        replay the same backoff schedule.
     """
 
     def __init__(
@@ -23,13 +49,48 @@ class ReliableChannel:
         link: WirelessLink,
         rto_s: float = 0.2,
         max_retries: int = 12,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float | None = None,
+        jitter_frac: float = 0.0,
+        jitter_seed: int = 0,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {backoff_factor}")
+        if not 0.0 <= jitter_frac < 1.0:
+            raise ValueError(f"jitter_frac must be in [0, 1), got {jitter_frac}")
         self.link = link
         self.rto_s = rto_s
         self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = (
+            rto_s * backoff_factor**5 if max_backoff_s is None else max_backoff_s
+        )
+        if self.max_backoff_s < rto_s:
+            raise ValueError("max_backoff_s must be >= rto_s")
+        self.jitter_frac = jitter_frac
+        self._jitter_rng = np.random.default_rng(jitter_seed)
         self.retransmissions = 0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Nominal (jitter-free) timeout after failed attempt ``attempt``."""
+        return min(self.rto_s * self.backoff_factor**attempt, self.max_backoff_s)
+
+    def backoff_schedule(self, n: int | None = None) -> tuple[float, ...]:
+        """The nominal backoff sequence for ``n`` timeouts.
+
+        Defaults to one entry per attempt :meth:`send` can burn
+        (``max_retries + 1`` — every failed attempt waits once).
+        """
+        count = self.max_retries + 1 if n is None else n
+        return tuple(self.backoff_s(i) for i in range(count))
+
+    def _jittered(self, backoff: float) -> float:
+        if self.jitter_frac == 0.0:
+            return backoff
+        u = float(self._jitter_rng.uniform(-self.jitter_frac, self.jitter_frac))
+        return backoff * (1.0 + u)
 
     def send(self, n_bytes: int, now: float) -> float:
         """Latency to reliably deliver ``n_bytes`` (retries included)."""
@@ -39,7 +100,7 @@ class ReliableChannel:
             if st.rate_bps > 0 and self.link.delivery_roll(st):
                 return total + self.link.packet_latency(n_bytes, st)
             self.retransmissions += 1
-            total += self.rto_s * (2**min(attempt, 5))
+            total += self._jittered(self.backoff_s(attempt))
         # Give up pretending it's fast: report the accumulated backoff
         # plus one nominal transmission at the floor rate.
         return total + self.rto_s

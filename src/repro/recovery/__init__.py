@@ -1,0 +1,45 @@
+"""Stateful migration, lease supervision and crash recovery.
+
+The subsystem has four cooperating parts:
+
+* :mod:`~repro.recovery.checkpoint` — robot-side versioned store of
+  node state snapshots;
+* :mod:`~repro.recovery.protocol` — the two-phase migration
+  transaction (PREPARE -> TRANSFER -> COMMIT, with ABORT/rollback)
+  that replaces the atomic ``Graph.move_node`` path;
+* :mod:`~repro.recovery.supervisor` — lease/heartbeat failure
+  detection from observable datagrams only;
+* :mod:`~repro.recovery.manager` — the degraded-mode ladder and
+  checkpoint-restore orchestration, wired on via
+  :func:`attach_recovery`.
+
+Nothing here runs unless :func:`attach_recovery` (or manual wiring)
+is called: an unattached simulation is bit-identical to one built
+before this package existed. See ``docs/recovery.md``.
+"""
+
+from repro.recovery.checkpoint import Checkpoint, CheckpointStore
+from repro.recovery.config import RecoveryConfig
+from repro.recovery.manager import MODES, RecoveryManager, attach_recovery
+from repro.recovery.protocol import (
+    ABORTED,
+    COMMITTED,
+    MigrationTicket,
+    TwoPhaseMigrator,
+)
+from repro.recovery.supervisor import Lease, LeaseSupervisor
+
+__all__ = [
+    "ABORTED",
+    "COMMITTED",
+    "Checkpoint",
+    "CheckpointStore",
+    "Lease",
+    "LeaseSupervisor",
+    "MODES",
+    "MigrationTicket",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "TwoPhaseMigrator",
+    "attach_recovery",
+]

@@ -1,0 +1,85 @@
+"""Robot-side store of committed node checkpoints.
+
+The store is the recovery subsystem's ground truth: a checkpoint is
+*committed* only once its state has actually reached the robot (the
+checkpoint daemon pays the downlink airtime before committing), so
+restoring ``latest(name)`` never resurrects state the robot never
+held. Versions are monotone per node — the node's ``state_version``
+is bumped by every commit — and only the newest ``max_versions`` are
+retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.middleware.node import Node
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One committed snapshot of one node's mutable state."""
+
+    node: str
+    version: int
+    t: float
+    state: object | None
+    state_bytes: int
+
+
+class CheckpointStore:
+    """Versioned checkpoints, newest-first per node.
+
+    Parameters
+    ----------
+    max_versions:
+        Retained history depth per node; older versions are dropped on
+        commit. One is enough for recovery; two lets tests assert the
+        version ladder.
+    """
+
+    def __init__(self, max_versions: int = 2) -> None:
+        if max_versions < 1:
+            raise ValueError(f"max_versions must be >= 1, got {max_versions}")
+        self.max_versions = max_versions
+        self._by_node: dict[str, list[Checkpoint]] = {}
+        self.commits = 0
+
+    def commit(self, node: Node, state: object | None, t: float) -> Checkpoint:
+        """Commit ``state`` for ``node`` at time ``t``; bumps its version."""
+        node.state_version += 1
+        cp = Checkpoint(
+            node=node.name,
+            version=node.state_version,
+            t=t,
+            state=state,
+            state_bytes=node.state_size_bytes(),
+        )
+        history = self._by_node.setdefault(node.name, [])
+        history.append(cp)
+        del history[: max(0, len(history) - self.max_versions)]
+        self.commits += 1
+        return cp
+
+    def latest(self, name: str) -> Checkpoint | None:
+        """Newest committed checkpoint for ``name``, if any."""
+        history = self._by_node.get(name)
+        return history[-1] if history else None
+
+    def versions(self, name: str) -> tuple[int, ...]:
+        """Retained version numbers for ``name``, oldest first."""
+        return tuple(cp.version for cp in self._by_node.get(name, ()))
+
+    def restore_latest(self, node: Node) -> Checkpoint | None:
+        """Restore ``node`` from its newest checkpoint; None if it has none.
+
+        Idempotent by contract of :meth:`Node.restore` — safe to call
+        on rollback retries.
+        """
+        cp = self.latest(node.name)
+        if cp is not None:
+            node.restore(cp.state)
+        return cp
+
+    def __contains__(self, name: str) -> bool:
+        return bool(self._by_node.get(name))

@@ -1,0 +1,84 @@
+"""Tuning knobs for the recovery subsystem.
+
+Everything observable-time: timeouts are compared against transport
+latencies the robot actually measures, and the lease TTL is compared
+against the gap since the last heartbeat it actually received. No
+parameter encodes knowledge of the fault injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Configuration for checkpointing, 2PC migration, and leases.
+
+    Parameters
+    ----------
+    checkpoint_period_s:
+        How often the checkpoint daemon snapshots remote nodes and
+        ships the state robot-ward (each shipment pays Eq. 1c airtime
+        for the node's ``state_size_bytes``).
+    heartbeat_period_s, heartbeat_bytes:
+        Supervision datagram cadence and size (server -> robot).
+    lease_ttl_s:
+        A remote placement whose last observed heartbeat is older than
+        this is declared dead. Must exceed the heartbeat period, or
+        every lease expires between beats.
+    prepare_timeout_s, commit_timeout_s:
+        Maximum acceptable control-plane round-trip for the PREPARE
+        and COMMIT handshakes; a slower (or silent) peer fails the
+        phase.
+    retry_delay_s:
+        Spacing between bounded per-phase retries.
+    max_attempts:
+        Per-phase attempt budget before the migration aborts.
+    handshake_bytes:
+        PREPARE payload size (the migration manifest).
+    cooldown_s:
+        Continuous lease health required before the degraded-mode
+        ladder steps back toward full offload (anti-flap).
+    max_versions:
+        Committed checkpoint versions retained per node.
+    """
+
+    checkpoint_period_s: float = 2.0
+    heartbeat_period_s: float = 0.5
+    heartbeat_bytes: int = 64
+    lease_ttl_s: float = 1.6
+    prepare_timeout_s: float = 0.75
+    commit_timeout_s: float = 0.75
+    retry_delay_s: float = 0.25
+    max_attempts: int = 3
+    handshake_bytes: int = 128
+    cooldown_s: float = 5.0
+    max_versions: int = 2
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "checkpoint_period_s",
+            "heartbeat_period_s",
+            "lease_ttl_s",
+            "prepare_timeout_s",
+            "commit_timeout_s",
+            "retry_delay_s",
+            "cooldown_s",
+        ):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if self.heartbeat_bytes <= 0:
+            raise ValueError(f"heartbeat_bytes must be positive, got {self.heartbeat_bytes}")
+        if self.handshake_bytes <= 0:
+            raise ValueError(f"handshake_bytes must be positive, got {self.handshake_bytes}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.max_versions < 1:
+            raise ValueError(f"max_versions must be >= 1, got {self.max_versions}")
+        if self.lease_ttl_s <= self.heartbeat_period_s:
+            raise ValueError(
+                "lease_ttl_s must exceed heartbeat_period_s "
+                f"({self.lease_ttl_s} <= {self.heartbeat_period_s})"
+            )

@@ -1,0 +1,166 @@
+"""Lease-based supervision of remote placements.
+
+The robot grants each remote host a *lease*: permission to run the
+robot's nodes, valid only while heartbeats keep arriving. Each
+supervision tick solicits one heartbeat datagram per leased host over
+the fabric; a beat that does not arrive — because the host crashed,
+the driver is blocking, or the packet died in the air — is simply
+*absent*. When the newest observed beat is older than the lease TTL,
+the lease expires and the expiry callbacks fire.
+
+This is the failure detector the rest of :mod:`repro.recovery` trusts.
+It observes exactly what a real robot could observe: datagrams that
+arrived, and time. It never reads fault-injector state, host ``up``
+flags, or any other oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.compute.host import Host
+from repro.network.fabric import NetworkFabric
+from repro.recovery.config import RecoveryConfig
+from repro.sim.kernel import Process, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+
+@dataclass
+class Lease:
+    """One remote host's permission-to-run, renewed by heartbeats."""
+
+    host_name: str
+    granted_t: float
+    ttl_s: float
+    last_renewal_t: float
+    renewals: int = 0
+    misses: int = 0
+    expired: bool = False
+
+    def healthy_for(self, now: float) -> float:
+        """Seconds of continuous health (0 while expired)."""
+        return 0.0 if self.expired else now - max(self.granted_t, 0.0)
+
+
+class LeaseSupervisor:
+    """Grants, renews and expires remote-placement leases.
+
+    Parameters
+    ----------
+    sim, fabric:
+        The kernel and the transport the heartbeats ride.
+    robot_host:
+        Where heartbeats terminate (the supervising end).
+    config:
+        Heartbeat cadence and lease TTL.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        robot_host: Host,
+        config: RecoveryConfig = RecoveryConfig(),
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.robot_host = robot_host
+        self.cfg = config
+        self.telemetry = telemetry
+        self.leases: dict[str, Lease] = {}
+        self._hosts: dict[str, Host] = {}
+        self._on_expiry: list[Callable[[str], None]] = []
+        self._on_recovery: list[Callable[[str], None]] = []
+        self._process: Process | None = None
+        self.expiries = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def on_expiry(self, hook: Callable[[str], None]) -> None:
+        """Register ``hook(host_name)`` fired when a lease expires."""
+        self._on_expiry.append(hook)
+
+    def on_recovery(self, hook: Callable[[str], None]) -> None:
+        """Register ``hook(host_name)`` fired when an expired lease heals."""
+        self._on_recovery.append(hook)
+
+    def start(self) -> Process:
+        """Begin the periodic supervision tick; returns the Process."""
+        if self._process is None:
+            self._process = self.sim.every(
+                self.cfg.heartbeat_period_s, self.tick, label="recovery:heartbeat"
+            )
+        return self._process
+
+    # ------------------------------------------------------------------
+    # Lease lifecycle
+    # ------------------------------------------------------------------
+    def grant(self, host: Host) -> Lease:
+        """Grant (or re-grant) a lease for ``host``; renewal clock resets."""
+        now = self.sim.now()
+        lease = Lease(
+            host_name=host.name,
+            granted_t=now,
+            ttl_s=self.cfg.lease_ttl_s,
+            last_renewal_t=now,
+        )
+        self.leases[host.name] = lease
+        self._hosts[host.name] = host
+        return lease
+
+    def release(self, host_name: str) -> None:
+        """Drop the lease for ``host_name`` (no longer supervised)."""
+        self.leases.pop(host_name, None)
+        self._hosts.pop(host_name, None)
+
+    def alive(self, host_name: str) -> bool:
+        """Whether the lease exists and has not expired."""
+        lease = self.leases.get(host_name)
+        return lease is not None and not lease.expired
+
+    def all_healthy(self) -> bool:
+        """True when no held lease is expired."""
+        return all(not lease.expired for lease in self.leases.values())
+
+    # ------------------------------------------------------------------
+    # The supervision tick
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Solicit one heartbeat per leased host; expire stale leases."""
+        now = self.sim.now()
+        for host_name, lease in list(self.leases.items()):
+            host = self._hosts[host_name]
+            beat = self.fabric.heartbeat(
+                host, self.robot_host, self.cfg.heartbeat_bytes, now
+            )
+            if beat is not None:
+                lease.renewals += 1
+                lease.last_renewal_t = now
+                if lease.expired:
+                    lease.expired = False
+                    lease.granted_t = now
+                    self.recoveries += 1
+                    self._emit("lease_recovered", host_name)
+                    for hook in self._on_recovery:
+                        hook(host_name)
+                continue
+            lease.misses += 1
+            if not lease.expired and now - lease.last_renewal_t > lease.ttl_s:
+                lease.expired = True
+                self.expiries += 1
+                self._emit("lease_expired", host_name)
+                for hook in self._on_expiry:
+                    hook(host_name)
+
+    def _emit(self, kind: str, host_name: str) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.emit(
+            kind, t=self.sim.now(), track="recovery", host=host_name
+        )

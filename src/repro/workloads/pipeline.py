@@ -113,9 +113,23 @@ class LocalizationNode(Node):
             PoseMsg(pose=est, covariance_trace=self.amcl.covariance_trace()),
         )
 
-    def on_migrate(self, new_host) -> int:
+    def state_size_bytes(self) -> int:
         # particle set: (x, y, theta, w) doubles
         return len(self.amcl.particles) * 32
+
+    def snapshot(self) -> object:
+        return {
+            "particles": self.amcl.particles.copy(),
+            "weights": self.amcl.weights.copy(),
+            "last_odom": self._last_odom,
+        }
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            return
+        self.amcl.particles = state["particles"].copy()
+        self.amcl.weights = state["weights"].copy()
+        self._last_odom = state["last_odom"]
 
 
 class SlamNode(Node):
@@ -168,8 +182,34 @@ class SlamNode(Node):
                 GridMsg(data=grid.data, resolution=grid.resolution, origin=grid.origin),
             )
 
-    def on_migrate(self, new_host) -> int:
+    def state_size_bytes(self) -> int:
         return self.slam.state_bytes()
+
+    def snapshot(self) -> object:
+        # per-particle trajectory + map; the particles' rng streams are
+        # deliberately NOT captured — a restored filter continues from
+        # the live stream, like a process resuming from a core image.
+        return {
+            "particles": [
+                (p.pose.copy(), p.log_odds.copy(), p.weight, p.match_score)
+                for p in self.slam.particles
+            ],
+            "last_odom": self._last_odom,
+            "scan_count": self._scan_count,
+        }
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            return
+        for p, (pose, log_odds, weight, score) in zip(
+            self.slam.particles, state["particles"]
+        ):
+            p.pose = pose.copy()
+            p.log_odds = log_odds.copy()
+            p.weight = weight
+            p.match_score = score
+        self._last_odom = state["last_odom"]
+        self._scan_count = state["scan_count"]
 
 
 class CostmapGenNode(Node):
@@ -218,8 +258,22 @@ class CostmapGenNode(Node):
             ),
         )
 
-    def on_migrate(self, new_host) -> int:
+    def state_size_bytes(self) -> int:
         return int(self.costmap.cost.nbytes)
+
+    def snapshot(self) -> object:
+        return {
+            "cost": self.costmap.cost.copy(),
+            "obstacle_lethal": self.costmap._obstacle_lethal.copy(),
+            "pose": self._pose,
+        }
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            return
+        self.costmap.cost = state["cost"].copy()
+        self.costmap._obstacle_lethal = state["obstacle_lethal"].copy()
+        self._pose = state["pose"]
 
 
 class PathPlanningNode(Node):
@@ -414,8 +468,30 @@ class PathTrackingNode(Node):
             "cmd_vel_raw", TwistMsg(v=res.v, w=res.w, source="path_tracking")
         )
 
-    def on_migrate(self, new_host) -> int:
+    def state_size_bytes(self) -> int:
         return 64 + 16 * len(self.dwa.path)
+
+    def snapshot(self) -> object:
+        return {
+            "path": self.dwa.path.copy(),
+            "pose": self._pose,
+            "v": self._v,
+            "w": self._w,
+            "v_limit": self._v_limit,
+            "period_ema": self._period_ema,
+            "goal_reached": self.goal_reached,
+        }
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            return
+        self.dwa.path = state["path"].copy()
+        self._pose = state["pose"]
+        self._v = state["v"]
+        self._w = state["w"]
+        self._v_limit = state["v_limit"]
+        self._period_ema = state["period_ema"]
+        self.goal_reached = state["goal_reached"]
 
 
 class SafetyNode(Node):

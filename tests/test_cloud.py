@@ -371,6 +371,32 @@ class TestFaultWiring:
         sim.run(until=5.0)
         assert not done  # stranded: the only worker never came back
 
+    def test_all_workers_down_parks_then_replays_on_restart(self):
+        # Satellite regression: with EVERY worker crashed there is no
+        # survivor to rebalance onto — requests must park, then drain
+        # on the first restart, in submission order, losing nothing.
+        sim = Simulator()
+        pool = make_pool(sim, n_workers=2, balancer="round-robin")
+        done = []
+        plan = FaultPlan(
+            (
+                ServerCrash(start=0.001, host="cloud-vm0"),  # never restarts
+                ServerCrash(start=0.001, restart_after=2.0, host="cloud-vm1"),
+            )
+        )
+        FaultInjector.for_pool(plan, pool).arm()
+        for i in range(3):
+            pool.submit(
+                req(tenant=f"r{i}", seq=i), lambda r, t, i=i: done.append((i, t))
+            )
+        sim.run(until=1.0)
+        assert not done  # parked: the whole pool is dark
+        assert not pool.has_live_workers()
+        sim.run(until=10.0)
+        assert sorted(i for i, _ in done) == [0, 1, 2]  # nothing lost
+        assert all(t >= 2.0 for _, t in done)  # nothing served before restart
+        assert pool.has_live_workers()
+
 
 class TestAdmissionController:
     SPEC = dict(cycles=1.4e9, threads=8, tick_rate_hz=5.0, local_vdp_s=1.0)

@@ -300,6 +300,72 @@ class TestMigration:
         sim.run()
         assert w.seen == []  # message arrived while paused -> dropped
 
+    def test_pause_node_buffers_and_replays_in_publish_order(self):
+        sim, graph, lgv, _ = make_graph()
+        w = graph.add_node(Worker(cycles=0), lgv)
+        s = graph.add_node(Sink(), lgv)
+        graph.pause_node("worker")
+        for v in (1.0, 2.0, 3.0):
+            graph.inject("data", TwistMsg(v=v), lgv)
+        sim.run()
+        assert w.seen == []  # frozen: nothing processed yet
+        graph.resume_node("worker")
+        sim.run()
+        assert len(w.seen) == 3  # every buffered message replayed, in order
+        assert len(s.got) == 3
+
+    def test_double_pause_preserves_buffer(self):
+        sim, graph, lgv, _ = make_graph()
+        w = graph.add_node(Worker(cycles=0), lgv)
+        graph.pause_node("worker")
+        graph.inject("data", TwistMsg(v=1.0), lgv)
+        graph.pause_node("worker")  # no-op: must not clear the buffer
+        graph.resume_node("worker")
+        sim.run()
+        assert len(w.seen) == 1
+
+    def test_pause_does_not_buffer_unsubscribed_topics(self):
+        sim, graph, lgv, _ = make_graph()
+        w = graph.add_node(Worker(cycles=0), lgv)
+        graph.pause_node("worker")
+        graph.inject("data", TwistMsg(v=1.0), lgv)
+        w._deliver("unrelated", TwistMsg())  # not a subscription: dropped
+        assert w._pause_buffer == [("data", w._pause_buffer[0][1])]
+        graph.resume_node("worker")
+        sim.run()
+        assert len(w.seen) == 1
+
+    def test_resume_never_paused_is_noop(self):
+        sim, graph, lgv, _ = make_graph()
+        w = graph.add_node(Worker(cycles=0), lgv)
+        graph.resume_node("worker")  # must not raise or disturb state
+        graph.inject("data", TwistMsg(), lgv)
+        sim.run()
+        assert len(w.seen) == 1
+
+    def test_migration_pause_still_drops_while_crash_pause_buffers(self):
+        # move_node keeps the historical drop semantics (state in
+        # flight); pause_node opts into buffering. They must not bleed
+        # into each other.
+        sim, graph, lgv, gw = make_graph()
+        w = graph.add_node(Worker(cycles=0), lgv)
+        w.begin_pause(buffer=False)
+        graph.inject("data", TwistMsg(), lgv)
+        w.end_pause()
+        sim.run()
+        assert w.seen == []  # dropped, exactly as before repro.recovery
+
+    def test_timer_skips_while_paused(self):
+        sim, graph, lgv, _ = make_graph()
+        p = graph.add_node(Producer(period=0.1), lgv)
+        w = graph.add_node(Worker(cycles=0), lgv)
+        graph.pause_node("producer")
+        sim.run(until=1.0)
+        assert w.seen == []  # paused timers skip firings, none queue up
+        graph.resume_node("producer")
+        sim.run(until=2.0)
+        assert len(w.seen) >= 5
+
     def test_processing_speeds_up_after_migration(self):
         sim, graph, lgv, gw = make_graph()
         cycles = 1.4e9 * 0.1  # 100 ms on the Pi

@@ -369,6 +369,82 @@ class TestReliableChannelExhaustion:
         assert ch.retransmissions == 8  # 2 sends x (3 + 1) attempts
 
 
+class TestReliableChannelBackoff:
+    """Satellite coverage: capped exponential backoff + seeded jitter."""
+
+    def test_schedule_is_capped_exponential(self):
+        link, _ = make_link()
+        ch = ReliableChannel(link, rto_s=0.1, backoff_factor=2.0, max_backoff_s=0.4)
+        assert ch.backoff_schedule(5) == pytest.approx((0.1, 0.2, 0.4, 0.4, 0.4))
+
+    def test_default_schedule_matches_legacy_formula(self):
+        # The pre-backoff-parameter implementation used rto * 2^min(a, 5);
+        # the defaults must reproduce it exactly (byte-identity contract).
+        link, _ = make_link()
+        ch = ReliableChannel(link, rto_s=0.2)
+        legacy = tuple(0.2 * 2 ** min(a, 5) for a in range(13))
+        assert ch.backoff_schedule() == pytest.approx(legacy)
+
+    def test_custom_factor_changes_growth(self):
+        link, _ = make_link()
+        ch = ReliableChannel(link, rto_s=0.1, backoff_factor=3.0, max_backoff_s=10.0)
+        assert ch.backoff_s(0) == pytest.approx(0.1)
+        assert ch.backoff_s(2) == pytest.approx(0.9)
+
+    def test_exhaustion_uses_configured_cap(self):
+        link, _ = make_link((500.0, 0.0))
+        ch = ReliableChannel(link, rto_s=0.1, max_retries=4, max_backoff_s=0.2)
+        lat = ch.send(500, 0.0)
+        # backoffs 0.1 + 0.2 + 0.2 + 0.2 + 0.2, plus the final rto
+        assert lat == pytest.approx(0.9 + 0.1)
+
+    def test_jitter_disabled_by_default_is_exact(self):
+        link, _ = make_link((500.0, 0.0))
+        a = ReliableChannel(link, rto_s=0.1, max_retries=6).send(500, 0.0)
+        b = ReliableChannel(link, rto_s=0.1, max_retries=6).send(500, 0.0)
+        assert a == b  # no RNG consumed, bitwise-equal totals
+
+    def test_jitter_reproducible_for_same_seed(self):
+        lats = []
+        for _ in range(2):
+            link, _ = make_link((500.0, 0.0))
+            ch = ReliableChannel(
+                link, rto_s=0.1, max_retries=6, jitter_frac=0.3, jitter_seed=42
+            )
+            lats.append(ch.send(500, 0.0))
+        assert lats[0] == lats[1]
+
+    def test_jitter_seed_changes_latency(self):
+        def exhaust(seed):
+            link, _ = make_link((500.0, 0.0))
+            ch = ReliableChannel(
+                link, rto_s=0.1, max_retries=6, jitter_frac=0.3, jitter_seed=seed
+            )
+            return ch.send(500, 0.0)
+
+        assert exhaust(1) != exhaust(2)
+
+    def test_jitter_bounded_by_fraction(self):
+        link, _ = make_link((500.0, 0.0))
+        ch = ReliableChannel(
+            link, rto_s=0.1, max_retries=6, jitter_frac=0.3, jitter_seed=0
+        )
+        lat = ch.send(500, 0.0)
+        clean = sum(ch.backoff_s(a) for a in range(7)) + 0.1
+        assert 0.7 * clean <= lat <= 1.3 * clean
+
+    def test_invalid_backoff_parameters(self):
+        link, _ = make_link()
+        with pytest.raises(ValueError):
+            ReliableChannel(link, backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ReliableChannel(link, jitter_frac=1.0)
+        with pytest.raises(ValueError):
+            ReliableChannel(link, jitter_frac=-0.1)
+        with pytest.raises(ValueError):
+            ReliableChannel(link, rto_s=0.2, max_backoff_s=0.1)
+
+
 class TestFleetRadioNetwork:
     def _net(self, **kw):
         from repro.network import FleetRadioNetwork
