@@ -37,7 +37,7 @@ class WorldView:
     def _cell(self, x: float, y: float) -> tuple[int, int]:
         return self.grid.world_to_cell(x, y)
 
-    def add_trajectory(self, xy: np.ndarray, glyph: str = "o") -> "WorldView":
+    def add_trajectory(self, xy: np.ndarray, glyph: str = "o") -> WorldView:
         """Overlay a driven path ((N, 2) world points)."""
         pts = np.asarray(xy, dtype=float)
         for x, y in pts:
@@ -45,14 +45,14 @@ class WorldView:
             self._overlay.setdefault(rc, glyph)
         return self
 
-    def add_plan(self, xy: np.ndarray, glyph: str = "+") -> "WorldView":
+    def add_plan(self, xy: np.ndarray, glyph: str = "+") -> WorldView:
         """Overlay a planned path (drawn over trajectories)."""
         pts = np.asarray(xy, dtype=float)
         for x, y in pts:
             self._overlay[self._cell(float(x), float(y))] = glyph
         return self
 
-    def add_marker(self, pose: Pose2D | tuple[float, float], glyph: str) -> "WorldView":
+    def add_marker(self, pose: Pose2D | tuple[float, float], glyph: str) -> WorldView:
         """Overlay a single marker (robot 'R', goal 'G', WAP 'W', ...)."""
         if isinstance(pose, Pose2D):
             x, y = pose.x, pose.y

@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.cloud import SCHEDULER_NAMES
 from repro.experiments import (
@@ -129,11 +129,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the chaos-recovery result as canonical JSON",
     )
+    fig9 = parser.add_argument_group("fig9", "options for the 'fig9' artifact")
+    fig9.add_argument(
+        "--fig9-out",
+        metavar="PATH",
+        default=None,
+        help="write the fig9 sweep as canonical JSON (determinism harness)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -158,7 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown artifact(s): {', '.join(unknown)} — try 'list'", file=sys.stderr)
         return 2
 
-    tel: Optional[Telemetry] = None
+    tel: Telemetry | None = None
     if trace_mode or args.trace_out or args.metrics_out:
         tel = Telemetry()
 
@@ -186,6 +199,9 @@ def main(argv: list[str] | None = None) -> int:
         if name == "recover" and args.recover_out:
             p = result.write_json(args.recover_out)
             print(f"[chaos-recovery JSON written to {p}]")
+        if name == "fig9" and args.fig9_out:
+            p = result.write_json(args.fig9_out)
+            print(f"[fig9 sweep JSON written to {p}]")
 
     if tel is not None:
         trace_out = args.trace_out or (f"{'_'.join(names)}_trace.json" if trace_mode else None)

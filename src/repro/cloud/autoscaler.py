@@ -16,7 +16,8 @@ A cooldown keeps decisions from flapping on one burst.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.cloud.pool import WorkerPool
 from repro.compute.host import Host

@@ -9,7 +9,8 @@ identically on every execution.
 from __future__ import annotations
 
 import zlib
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.cloud.request import TickRequest
 
@@ -26,8 +27,8 @@ class LoadBalancer:
     name = "balancer"
 
     def pick(
-        self, workers: Sequence["PoolWorker"], req: TickRequest, now: float
-    ) -> "PoolWorker":
+        self, workers: Sequence[PoolWorker], req: TickRequest, now: float
+    ) -> PoolWorker:
         """Choose a worker from ``workers`` (non-empty, all up)."""
         raise NotImplementedError
 
@@ -41,8 +42,8 @@ class RoundRobinBalancer(LoadBalancer):
         self._next = 0
 
     def pick(
-        self, workers: Sequence["PoolWorker"], req: TickRequest, now: float
-    ) -> "PoolWorker":
+        self, workers: Sequence[PoolWorker], req: TickRequest, now: float
+    ) -> PoolWorker:
         w = workers[self._next % len(workers)]
         self._next += 1
         return w
@@ -58,8 +59,8 @@ class LeastLoadedBalancer(LoadBalancer):
     name = "least-loaded"
 
     def pick(
-        self, workers: Sequence["PoolWorker"], req: TickRequest, now: float
-    ) -> "PoolWorker":
+        self, workers: Sequence[PoolWorker], req: TickRequest, now: float
+    ) -> PoolWorker:
         return min(workers, key=lambda w: (w.load(), w.host.name))
 
 
@@ -75,9 +76,9 @@ class AffinityBalancer(LoadBalancer):
     name = "affinity"
 
     def pick(
-        self, workers: Sequence["PoolWorker"], req: TickRequest, now: float
-    ) -> "PoolWorker":
-        def weight(w: "PoolWorker") -> int:
+        self, workers: Sequence[PoolWorker], req: TickRequest, now: float
+    ) -> PoolWorker:
+        def weight(w: PoolWorker) -> int:
             key = f"{req.tenant}@{w.host.name}".encode()
             return zlib.crc32(key)
 

@@ -17,7 +17,8 @@ runs, overload stretches everyone — the DES realization of
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
 
 from repro.cloud.balancer import LoadBalancer
 from repro.cloud.request import TickRequest

@@ -14,8 +14,9 @@ Python-level loop short.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Sequence
+from typing import Any
 
 
 def chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
@@ -88,7 +89,7 @@ class WorkerPool:
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def __enter__(self) -> "WorkerPool":
+    def __enter__(self) -> WorkerPool:
         return self
 
     def __exit__(self, *exc: object) -> None:

@@ -35,7 +35,7 @@ class ParallelScorer(TrajectoryScorer):
         """Release pool threads."""
         self._pool.shutdown()
 
-    def __enter__(self) -> "ParallelScorer":
+    def __enter__(self) -> ParallelScorer:
         return self
 
     def __exit__(self, *exc: object) -> None:

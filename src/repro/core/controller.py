@@ -12,8 +12,8 @@ ROS APIs:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.control.velocity_law import (
     DEFAULT_MAX_ACCEL,

@@ -11,8 +11,9 @@ lands on.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 from repro.compute.host import Host
 from repro.core.migration import MigrationPlan

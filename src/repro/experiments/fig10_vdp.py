@@ -132,7 +132,7 @@ def measure_real_vdp(
     dwa.set_path(np.array([[2.0, 2.0], [6.0, 6.0]]))
     mux = VelocityMux()
     mux.add_input("path_tracking", 10)
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # lint: ok(DET001): wall-clock benchmark of real compute
     ticks = 0
     for i in range(n_ticks):
         scan = seq.scans[i % len(seq)]
@@ -142,7 +142,7 @@ def measure_real_vdp(
         mux.offer("path_tracking", r.v, r.w, float(i))
         mux.select(float(i))
         ticks += 1
-    elapsed = time.perf_counter() - t0
+    elapsed = time.perf_counter() - t0  # lint: ok(DET001): wall-clock benchmark of real compute
     if scorer is not None:
         scorer.close()
     return elapsed / ticks

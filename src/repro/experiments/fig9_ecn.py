@@ -17,8 +17,10 @@ confirm the thread decomposition speeds up real work on real cores.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.analysis.tables import Table, format_seconds
 from repro.compute.executor import ExecutionModel, SLAM_PROFILE
@@ -53,6 +55,26 @@ class Fig9Result:
     def render(self) -> str:
         """All three per-platform tables."""
         return "\n\n".join(t.render() for t in self.tables)
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the sweep as canonical JSON (sorted keys, fixed floats).
+
+        The byte-stable artifact the dual-``PYTHONHASHSEED``
+        determinism harness compares: same seed → same bytes,
+        regardless of interpreter hash randomization.
+        """
+        payload = {
+            "times": {
+                f"{plat}/{threads}t/{particles}p": secs
+                for (plat, threads, particles), secs in self.times.items()
+            },
+            "best_speedup": {p.name: self.best_speedup(p.name) for p in PLATFORMS},
+        }
+        out = Path(path)
+        out.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        return out
 
 
 def run_fig9(telemetry: Telemetry | None = None) -> Fig9Result:
@@ -128,8 +150,8 @@ def measure_real_slam(
     with ParallelGMapping(
         cfg, rng=seeded_rng(seed), initial_pose=seq.poses[0], n_threads=n_threads
     ) as slam:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: ok(DET001): wall-clock benchmark of real compute
         for scan, delta in seq:
             slam.process(scan, delta)
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0  # lint: ok(DET001): wall-clock benchmark of real compute
     return elapsed / len(seq)

@@ -15,9 +15,10 @@ exactly when the world turned hostile.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
-import numpy as np
+from repro.sim.rng import seeded_rng
 
 from repro.compute.host import Host
 from repro.faults.plan import (
@@ -101,7 +102,7 @@ class FaultInjector:
     @classmethod
     def for_workload(
         cls, plan: FaultPlan, workload, telemetry: "Telemetry | None" = None
-    ) -> "FaultInjector":
+    ) -> FaultInjector:
         """Build an injector wired to a navigation-style workload.
 
         ``workload`` must expose ``sim``, ``fabric``, ``graph``,
@@ -122,7 +123,7 @@ class FaultInjector:
     @classmethod
     def for_pool(
         cls, plan: FaultPlan, pool, telemetry: "Telemetry | None" = None
-    ) -> "FaultInjector":
+    ) -> FaultInjector:
         """Build an injector targeting a :class:`repro.cloud.WorkerPool`.
 
         Server faults (``ServerCrash`` / ``ServerSlowdown``) resolve
@@ -142,7 +143,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Arming
     # ------------------------------------------------------------------
-    def arm(self) -> "FaultInjector":
+    def arm(self) -> FaultInjector:
         """Schedule every fault in the plan; returns ``self``.
 
         Injections (and clears) whose time is already past are applied
@@ -313,13 +314,13 @@ class FaultInjector:
     def _packet_mangling(self, f: PacketMangling):
         def apply() -> None:
             self.fabric.uplink.fault = ChannelFault(
-                rng=np.random.default_rng(f.seed),
+                rng=seeded_rng(f.seed),
                 drop_p=f.drop_p,
                 corrupt_p=f.corrupt_p,
                 duplicate_p=f.duplicate_p,
             )
             self.fabric.downlink.fault = ChannelFault(
-                rng=np.random.default_rng(f.seed + 1),
+                rng=seeded_rng(f.seed + 1),
                 drop_p=f.drop_p,
                 corrupt_p=f.corrupt_p,
                 duplicate_p=f.duplicate_p,
@@ -378,7 +379,7 @@ class FaultInjector:
             raise ValueError(f"unknown server host {name!r}; have {known}")
         return matches
 
-    def on_phase(self, hook: Callable[[float, str, str], None]) -> "FaultInjector":
+    def on_phase(self, hook: Callable[[float, str, str], None]) -> FaultInjector:
         """Register ``hook(t, phase, kind)`` for every fault transition.
 
         Lets experiments correlate their own observations (lease

@@ -1,0 +1,72 @@
+"""Static analysis for simulation determinism and sim-safety.
+
+Every headline artifact of this reproduction (fig9/fig13 tables, the
+fleet and recovery ``cmp`` smoke jobs, replayable fault plans) rests on
+one invariant: *a mission is a pure function of its seed*. Code under
+``src/repro`` must therefore never read wall-clock time, draw unseeded
+randomness, or let order-unstable iteration reach simulator state or
+serialized output. ``repro.lint`` turns that convention into a
+machine-checked gate: an AST pass (stdlib :mod:`ast`, no third-party
+dependencies) with eight checkers, run via ``python -m repro lint``.
+
+Checker codes
+-------------
+
+========  ==========================================================
+DET001    wall-clock reads (``time.time``/``perf_counter``/…)
+DET002    global ``random`` module or direct ``numpy.random`` use
+DET003    iteration over sets / object-identity dict keys
+DET004    ambient entropy (``os.environ``/``os.urandom``/``uuid4``)
+SIM001    reentrant ``Simulator.run`` from an event callback
+SIM002    float ``==``/``!=`` on sim-time or energy quantities
+SIM003    mutable default arguments
+SIM004    unguarded calls through a nullable telemetry handle
+========  ==========================================================
+
+Suppressions: append ``# lint: ok(CODE)`` (optionally
+``# lint: ok(CODE): reason``) to the offending line, or declare
+``# lint: file-ok(CODE): reason`` anywhere in the file. See
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.determinism import (
+    AmbientEntropyChecker,
+    OrderStableIterChecker,
+    RandomnessChecker,
+    WallClockChecker,
+)
+from repro.lint.engine import (
+    ALL_CHECKERS,
+    DEFAULT_ALLOWLIST,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.simsafety import (
+    FloatEqChecker,
+    MutableDefaultChecker,
+    ReentrantRunChecker,
+    TelemetryGuardChecker,
+)
+from repro.lint.suppress import SuppressionIndex
+from repro.lint.violations import Violation
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DEFAULT_ALLOWLIST",
+    "AmbientEntropyChecker",
+    "FloatEqChecker",
+    "MutableDefaultChecker",
+    "OrderStableIterChecker",
+    "RandomnessChecker",
+    "ReentrantRunChecker",
+    "SuppressionIndex",
+    "TelemetryGuardChecker",
+    "Violation",
+    "WallClockChecker",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,98 @@
+"""Shared checker machinery: the base visitor and name resolution.
+
+Checkers are :class:`ast.NodeVisitor` subclasses. The engine hands each
+one the module tree plus an import-alias map so ``pc()`` after
+``from time import perf_counter as pc`` resolves to the canonical
+dotted name ``time.perf_counter`` — matching is always done on
+canonical names, never on surface spellings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.lint.violations import Violation
+
+
+def collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted paths for a module.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from datetime import datetime as dt`` yields
+    ``{"dt": "datetime.datetime"}``. Wildcard imports are ignored —
+    they are a lint smell of their own (F403) and unused in this tree.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted path of a ``Name``/``Attribute`` chain, or ``None``.
+
+    ``np.random.default_rng`` with ``np -> numpy`` becomes
+    ``"numpy.random.default_rng"``. Chains rooted in anything other
+    than a plain name (calls, subscripts) resolve to ``None``.
+    """
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    root = aliases.get(cur.id, cur.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def receiver_text(node: ast.expr) -> str:
+    """Stable text form of an expression, for guard matching.
+
+    ``ast.dump`` is position-independent, so two occurrences of
+    ``self.telemetry`` compare equal wherever they appear.
+    """
+    return ast.dump(node)
+
+
+class Checker(ast.NodeVisitor):
+    """Base class: one rule code, one message, a violation list."""
+
+    #: Rule identifier, e.g. ``"DET001"``.
+    code: ClassVar[str] = ""
+    #: Default finding message; :meth:`report` can override per site.
+    message: ClassVar[str] = ""
+
+    def __init__(self, path: str, tree: ast.Module, aliases: dict[str, str]) -> None:
+        self.path = path
+        self.tree = tree
+        self.aliases = aliases
+        self.violations: list[Violation] = []
+
+    def run(self) -> list[Violation]:
+        """Visit the module and return the collected violations."""
+        self.visit(self.tree)
+        return self.violations
+
+    def report(self, node: ast.AST, message: str | None = None) -> None:
+        """Record a violation anchored at ``node``."""
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=self.code,
+                message=message or self.message,
+            )
+        )

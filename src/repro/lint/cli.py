@@ -1,0 +1,78 @@
+"""``python -m repro lint`` — the command-line face of the pass.
+
+Exit status is 0 when clean, 1 when violations were found, 2 on usage
+or parse errors — so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.engine import ALL_CHECKERS, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Determinism & sim-safety static analysis for sim code.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directory trees to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated checker codes to run (default: all)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    checkers = list(ALL_CHECKERS)
+    if args.select:
+        wanted = {c.strip() for c in args.select.split(",") if c.strip()}
+        known = {c.code for c in ALL_CHECKERS}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown checker code(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        checkers = [c for c in ALL_CHECKERS if c.code in wanted]
+
+    try:
+        violations = lint_paths(args.paths, checkers=checkers)
+    except (OSError, SyntaxError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([v.to_json() for v in violations], indent=2))
+    else:
+        for v in violations:
+            print(v.render())
+        n = len(violations)
+        print(
+            f"repro lint: {n} violation{'s' if n != 1 else ''} found"
+            if n
+            else "repro lint: clean",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0

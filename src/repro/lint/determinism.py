@@ -1,0 +1,251 @@
+"""DET checkers: wall-clock, randomness, iteration order, ambient entropy.
+
+These four rules are the load-bearing half of the pass: each guards one
+way real-world nondeterminism can leak into a simulation that must be a
+pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker, dotted_name
+
+#: Canonical names whose *call* reads the host's wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockChecker(Checker):
+    """DET001 — sim code must read time from ``sim.clock``, not the host.
+
+    One ``time.time()`` in a hot path timestamps events with wall time
+    and the same seed stops producing the same artifact. Wall-clock
+    reads are legitimate only for benchmarking real compute or labelling
+    exported artifacts — those sites carry an explicit suppression or
+    live in allowlisted files (CLI, telemetry export).
+    """
+
+    code = "DET001"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func, self.aliases)
+        if name in WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock read {name}() in sim code; use the simulator clock "
+                "(sim.now()) or suppress with '# lint: ok(DET001): <reason>'",
+            )
+        self.generic_visit(node)
+
+
+class RandomnessChecker(Checker):
+    """DET002 — all randomness flows through ``repro.sim.rng``.
+
+    The stdlib ``random`` module is banned outright (global, hash-seed
+    adjacent, easy to leave unseeded). Direct ``numpy.random``
+    construction is banned too — even seeded ``default_rng`` calls must
+    route through :func:`repro.sim.rng.seeded_rng`/``split_rng`` so
+    stream derivation stays auditable in one place.
+    """
+
+    code = "DET002"
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for a in node.names:
+            if a.name == "random" or a.name.startswith("random."):
+                self.report(
+                    node,
+                    "stdlib 'random' is banned in sim code; "
+                    "use repro.sim.rng.seeded_rng",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "random":
+            self.report(
+                node,
+                "stdlib 'random' is banned in sim code; use repro.sim.rng.seeded_rng",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func, self.aliases)
+        if name is not None:
+            if name.startswith("random."):
+                self.report(
+                    node,
+                    f"{name}() draws from the global stdlib RNG; "
+                    "use repro.sim.rng.seeded_rng",
+                )
+            elif name.startswith("numpy.random."):
+                self.report(
+                    node,
+                    f"direct {name}() call; construct generators via "
+                    "repro.sim.rng.seeded_rng / split_rng",
+                )
+        self.generic_visit(node)
+
+
+def _is_set_like(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """Whether an expression evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func, aliases)
+        return name in {"set", "frozenset"}
+    return False
+
+
+class OrderStableIterChecker(Checker):
+    """DET003 — iteration order reaching sim state must be stable.
+
+    Iterating a set (or keying a dict by ``id(obj)``) makes loop order
+    depend on ``PYTHONHASHSEED`` or allocation addresses; if that order
+    reaches the event queue or serialized output, byte-identity dies.
+    Wrap the iterable in ``sorted(...)`` or iterate a list/dict instead.
+    This is a heuristic: direct set expressions in ``for``/comprehension
+    position, names locally bound to set expressions, and ``id(...)``
+    used as a subscript or dict-literal key.
+    """
+
+    code = "DET003"
+
+    def __init__(self, path: str, tree: ast.Module, aliases: dict[str, str]) -> None:
+        super().__init__(path, tree, aliases)
+        self._set_names: set[str] = set()
+
+    def _scan_assignments(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign) and _is_set_like(child.value, self.aliases):
+                for tgt in child.targets:
+                    if isinstance(tgt, ast.Name):
+                        self._set_names.add(tgt.id)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                if _is_set_like(child.value, self.aliases) and isinstance(
+                    child.target, ast.Name
+                ):
+                    self._set_names.add(child.target.id)
+
+    def run(self) -> list:
+        self._scan_assignments(self.tree)
+        return super().run()
+
+    def _check_iter(self, node: ast.expr) -> None:
+        if _is_set_like(node, self.aliases):
+            self.report(
+                node,
+                "iteration over a set has hash-seed-dependent order; "
+                "wrap in sorted(...) or use a list/dict",
+            )
+        elif isinstance(node, ast.Name) and node.id in self._set_names:
+            self.report(
+                node,
+                f"iteration over set-typed name {node.id!r} has "
+                "hash-seed-dependent order; wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(self, generators: list[ast.comprehension]) -> None:
+        for gen in generators:
+            self._check_iter(gen.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def _is_id_call(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func, self.aliases) == "id"
+        )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_id_call(node.slice):
+            self.report(
+                node,
+                "dict keyed by id(...) orders by allocation address; "
+                "key by a stable name or index instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key in node.keys:
+            if key is not None and self._is_id_call(key):
+                self.report(
+                    key,
+                    "dict keyed by id(...) orders by allocation address; "
+                    "key by a stable name or index instead",
+                )
+        self.generic_visit(node)
+
+
+#: Canonical names that import ambient host state into a run.
+AMBIENT_CALLS = frozenset(
+    {
+        "os.urandom",
+        "os.getenv",
+        "os.environ.get",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+class AmbientEntropyChecker(Checker):
+    """DET004 — no ambient host entropy or environment reads in sim code.
+
+    ``os.environ`` makes a run depend on the invoking shell;
+    ``os.urandom``/``uuid4``/``secrets`` are unseedable by design.
+    Configuration enters through constructor parameters, randomness
+    through ``sim.rng``.
+    """
+
+    code = "DET004"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func, self.aliases)
+        if name is not None and (name in AMBIENT_CALLS or name.startswith("secrets.")):
+            self.report(
+                node,
+                f"{name}() imports ambient host state; pass configuration/seed "
+                "explicitly instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if dotted_name(node, self.aliases) == "os.environ":
+            self.report(
+                node,
+                "os.environ read in sim code; pass configuration explicitly",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,109 @@
+"""Run the checkers over files and trees, applying allowlist + suppressions."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Sequence
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.lint.base import Checker, collect_aliases
+from repro.lint.determinism import (
+    AmbientEntropyChecker,
+    OrderStableIterChecker,
+    RandomnessChecker,
+    WallClockChecker,
+)
+from repro.lint.simsafety import (
+    FloatEqChecker,
+    MutableDefaultChecker,
+    ReentrantRunChecker,
+    TelemetryGuardChecker,
+)
+from repro.lint.suppress import SuppressionIndex
+from repro.lint.violations import Violation
+
+#: Every checker, in code order.
+ALL_CHECKERS: tuple[type[Checker], ...] = (
+    WallClockChecker,
+    RandomnessChecker,
+    OrderStableIterChecker,
+    AmbientEntropyChecker,
+    ReentrantRunChecker,
+    FloatEqChecker,
+    MutableDefaultChecker,
+    TelemetryGuardChecker,
+)
+
+#: Path-glob -> codes exempted there. These are the *structural*
+#: exemptions — places whose whole purpose is the thing the rule bans.
+#: One-off sites use inline ``# lint: ok(CODE): reason`` instead.
+DEFAULT_ALLOWLIST: tuple[tuple[str, tuple[str, ...]], ...] = (
+    # the one sanctioned construction site for numpy generators
+    ("*/repro/sim/rng.py", ("DET002",)),
+    # telemetry holds the wall-clock fallback for untraced spans and
+    # calls its own (non-nullable) surfaces internally
+    ("*/repro/telemetry/*", ("DET001", "SIM004")),
+    # CLI progress timing is operator-facing wall time by design
+    ("*/repro/cli.py", ("DET001",)),
+    # benchmarks measure real compute on real cores
+    ("*benchmarks/*", ("DET001", "DET002")),
+)
+
+
+def allowed_codes(path: str, allowlist: Sequence[tuple[str, Sequence[str]]]) -> frozenset[str]:
+    """Codes exempted for ``path`` under ``allowlist``."""
+    posix = Path(path).as_posix()
+    out: set[str] = set()
+    for pattern, codes in allowlist:
+        if fnmatch(posix, pattern):
+            out.update(codes)
+    return frozenset(out)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    checkers: Sequence[type[Checker]] | None = None,
+) -> list[Violation]:
+    """Lint a source string; suppressions apply, allowlist does not."""
+    tree = ast.parse(source, filename=path)
+    aliases = collect_aliases(tree)
+    suppressions = SuppressionIndex(source)
+    found: set[Violation] = set()
+    for cls in checkers or ALL_CHECKERS:
+        for v in cls(path, tree, aliases).run():
+            if not suppressions.is_suppressed(v.code, v.line):
+                found.add(v)
+    return sorted(found)
+
+
+def lint_file(
+    path: str | Path,
+    checkers: Sequence[type[Checker]] | None = None,
+    allowlist: Sequence[tuple[str, Sequence[str]]] = DEFAULT_ALLOWLIST,
+) -> list[Violation]:
+    """Lint one file, honouring suppressions and the allowlist."""
+    p = Path(path)
+    violations = lint_source(p.read_text(), path=p.as_posix(), checkers=checkers)
+    exempt = allowed_codes(p.as_posix(), allowlist)
+    return [v for v in violations if v.code not in exempt]
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    checkers: Sequence[type[Checker]] | None = None,
+    allowlist: Sequence[tuple[str, Sequence[str]]] = DEFAULT_ALLOWLIST,
+) -> list[Violation]:
+    """Lint files and/or directory trees; output order is stable."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    out: list[Violation] = []
+    for f in files:
+        out.extend(lint_file(f, checkers=checkers, allowlist=allowlist))
+    return sorted(out)

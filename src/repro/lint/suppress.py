@@ -1,0 +1,56 @@
+"""Suppression comments: per-line ``ok(...)`` and per-file ``file-ok(...)``.
+
+Syntax, mirroring the familiar ``noqa`` shape but scoped to lint codes::
+
+    t0 = time.perf_counter()  # lint: ok(DET001): wall-clock benchmark
+    x = {a, b}
+    for v in x:               # lint: ok(DET003)
+        ...
+
+    # lint: file-ok(SIM004): telemetry package calls itself non-nullably
+
+``ok(*)`` / ``file-ok(*)`` suppress every code. A reason after ``:`` is
+optional but encouraged — it is what the next reader sees instead of a
+red CI job.
+"""
+
+from __future__ import annotations
+
+import re
+
+_LINE_RE = re.compile(r"#\s*lint:\s*ok\(([^)]*)\)")
+_FILE_RE = re.compile(r"#\s*lint:\s*file-ok\(([^)]*)\)")
+
+
+def _parse_codes(raw: str) -> frozenset[str]:
+    return frozenset(c.strip() for c in raw.split(",") if c.strip())
+
+
+class SuppressionIndex:
+    """Parsed suppression comments for one source file.
+
+    Built once per file from the raw source text; checkers then ask
+    :meth:`is_suppressed` per emitted violation. Parsing is textual
+    (regex over physical lines) rather than AST-based so a suppression
+    works on any line, including ones the parser folds away.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.line_codes: dict[int, frozenset[str]] = {}
+        self.file_codes: frozenset[str] = frozenset()
+        file_codes: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _LINE_RE.search(line)
+            if m:
+                self.line_codes[lineno] = _parse_codes(m.group(1))
+            m = _FILE_RE.search(line)
+            if m:
+                file_codes.update(_parse_codes(m.group(1)))
+        self.file_codes = frozenset(file_codes)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether ``code`` reported at ``line`` is silenced."""
+        if code in self.file_codes or "*" in self.file_codes:
+            return True
+        codes = self.line_codes.get(line)
+        return codes is not None and (code in codes or "*" in codes)

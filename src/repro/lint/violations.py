@@ -1,0 +1,35 @@
+"""The :class:`Violation` record every checker emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where it is, which rule, and why it matters.
+
+    Ordering is lexicographic on ``(path, line, col, code)`` so a run's
+    output is stable regardless of checker execution order — the lint
+    pass itself honours the determinism rules it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col CODE message`` — the grep/editor-friendly form."""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serializable mapping for ``repro lint --format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -11,7 +11,8 @@ Algorithm 1 and Algorithm 2) is :meth:`Graph.move_node`.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Any, Callable, Protocol
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.compute.host import Host
 from repro.middleware.messages import Message
@@ -98,7 +99,7 @@ class Graph:
         if telemetry is not None:
             self.set_telemetry(telemetry)
 
-    def set_telemetry(self, telemetry: "Telemetry") -> None:
+    def set_telemetry(self, telemetry: Telemetry) -> None:
         """Attach ``telemetry``, pre-creating the hot-path instruments."""
         from repro.telemetry.instrument import GraphInstruments
 

@@ -13,7 +13,8 @@ moves between hosts, callbacks and all.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.compute.executor import ParallelProfile, SERIAL_PROFILE
 from repro.middleware.messages import Message
@@ -69,7 +70,7 @@ class Node:
     def on_start(self) -> None:
         """Called once when the node is added to a graph."""
 
-    def on_migrate(self, new_host: "Host") -> int:
+    def on_migrate(self, new_host: Host) -> int:
         """Called when the node is moved; returns state size in bytes.
 
         Subclasses carrying big state (particle sets, costmaps) return

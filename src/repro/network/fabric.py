@@ -10,9 +10,9 @@ energy is ignored, as the paper does.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
-import numpy as np
+from repro.sim.rng import seeded_rng
 
 from repro.compute.host import Host
 from repro.network.link import WirelessLink
@@ -184,7 +184,7 @@ class FleetRadioNetwork:
         if seed is None:
             seed = (self.seed * 2654435761 + zlib.crc32(tenant.encode())) % 2**31
         link = WirelessLink(
-            wap, lambda: xy, np.random.default_rng(seed)
+            wap, lambda: xy, seeded_rng(seed)
         )
         self._links[tenant] = link
         self._uplinks[tenant] = UdpChannel(link)

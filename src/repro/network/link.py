@@ -9,12 +9,14 @@ larger for the remote datacenter).
 
 from __future__ import annotations
 
+import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
 from repro.network.signal import WapSite, link_quality, phy_rate
+from repro.sim.rng import seeded_rng
 
 PositionProvider = Callable[[], tuple[float, float]]
 
@@ -52,7 +54,7 @@ class WirelessLink:
 
     wap: WapSite
     position: PositionProvider
-    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    rng: np.random.Generator = field(default_factory=lambda: seeded_rng(0))
     base_latency_s: float = 0.002
     jitter_s: float = 0.001
     tx_power_w: float = 1.2
@@ -101,7 +103,7 @@ class WirelessLink:
         Out-of-range sends burn one full retry window of radio time.
         """
         t = self.airtime(n_bytes, state)
-        if t == float("inf"):
+        if math.isinf(t):
             t = 0.01
         return self.tx_power_w * t
 

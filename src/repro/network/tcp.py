@@ -8,7 +8,7 @@ to very large latencies rather than silence.
 
 from __future__ import annotations
 
-import numpy as np
+from repro.sim.rng import seeded_rng
 
 from repro.network.link import WirelessLink
 
@@ -70,7 +70,7 @@ class ReliableChannel:
         if self.max_backoff_s < rto_s:
             raise ValueError("max_backoff_s must be >= rto_s")
         self.jitter_frac = jitter_frac
-        self._jitter_rng = np.random.default_rng(jitter_seed)
+        self._jitter_rng = seeded_rng(jitter_seed)
         self.retransmissions = 0
 
     def backoff_s(self, attempt: int) -> float:

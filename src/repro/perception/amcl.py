@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.rng import seeded_rng
+
 from repro.perception.likelihood import LikelihoodField
 from repro.world.geometry import Pose2D, normalize_angles
 from repro.world.grid import OccupancyGrid
@@ -54,7 +56,7 @@ class Amcl:
     ) -> None:
         self.map = grid
         self.config = config
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else seeded_rng(0)
         self.field = LikelihoodField(grid, sigma_m=config.sigma_hit_m)
         n = config.n_particles
         if initial_pose is None:

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.rng import split_rng
+from repro.sim.rng import seeded_rng, split_rng
 from repro.world.geometry import Pose2D, normalize_angle
 from repro.world.grid import CellState, OccupancyGrid
 from repro.world.lidar import LidarScan
@@ -69,7 +69,7 @@ class Particle:
     rng: np.random.Generator
     match_score: float = 0.0
 
-    def copy_from(self, other: "Particle") -> None:
+    def copy_from(self, other: Particle) -> None:
         """Adopt another particle's state (used by resampling).
 
         The RNG stream is *not* copied — each slot keeps its own
@@ -91,7 +91,7 @@ class GMapping:
         initial_pose: Pose2D = Pose2D(),
     ) -> None:
         self.config = config
-        master = rng if rng is not None else np.random.default_rng(0)
+        master = rng if rng is not None else seeded_rng(0)
         streams = split_rng(master, config.n_particles)
         pose0 = initial_pose.as_array()
         self.particles = [

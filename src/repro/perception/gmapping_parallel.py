@@ -57,7 +57,7 @@ class ParallelGMapping(GMapping):
         """Release pool threads."""
         self._pool.shutdown()
 
-    def __enter__(self) -> "ParallelGMapping":
+    def __enter__(self) -> ParallelGMapping:
         return self
 
     def __exit__(self, *exc: object) -> None:

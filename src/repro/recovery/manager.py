@@ -26,7 +26,8 @@ policy rather than a one-shot migration.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.compute.host import Host
 from repro.core.controller import Controller
@@ -243,7 +244,7 @@ class RecoveryManager:
 
 
 def attach_recovery(
-    framework: "OffloadingFramework",
+    framework: OffloadingFramework,
     fabric: NetworkFabric,
     pool: "WorkerPool | None" = None,
     config: RecoveryConfig | None = None,

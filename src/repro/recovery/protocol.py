@@ -27,8 +27,9 @@ the phase that runs after it — there is no up-front latency oracle.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from repro.compute.host import Host
 from repro.middleware.graph import Graph

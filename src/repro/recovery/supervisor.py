@@ -16,8 +16,9 @@ flags, or any other oracle.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from repro.compute.host import Host
 from repro.network.fabric import NetworkFabric

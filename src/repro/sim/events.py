@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 
 @dataclass(order=True, frozen=True)
@@ -28,12 +30,18 @@ class Event:
         Zero-argument callable invoked when the event fires.
     label:
         Human-readable tag used in traces and error messages.
+    parent:
+        ``seq`` of the event whose callback scheduled this one, or
+        ``-1`` when scheduled outside any callback (setup code). Used
+        by the ordering auditor to tell causal same-time ties (child
+        scheduled by the event it ties with) from concurrent ones.
     """
 
     time: float
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
+    parent: int = field(compare=False, default=-1)
 
 
 class EventQueue:
@@ -55,11 +63,23 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
-    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        parent: int = -1,
+    ) -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
-        if time != time:  # NaN guard
+        if math.isnan(time):
             raise ValueError("event time is NaN")
-        ev = Event(time=float(time), seq=next(self._counter), callback=callback, label=label)
+        ev = Event(
+            time=float(time),
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+            parent=parent,
+        )
         heapq.heappush(self._heap, ev)
         self._live += 1
         return ev

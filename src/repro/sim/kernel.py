@@ -8,13 +8,16 @@ for periodic activities (sensor polling, control loops, monitors).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any, ClassVar
 
+from repro.sim.audit import OrderingAuditor
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Telemetry
+    from repro.telemetry.metrics import Counter as MetricCounter
 
 
 class Simulator:
@@ -25,15 +28,64 @@ class Simulator:
     every fired event is recorded as a span on the ``"kernel"`` track
     and counted in ``sim_events_total``. When ``None`` (the default)
     the only cost is one attribute test per event.
+
+    ``audit_ordering`` attaches an :class:`~repro.sim.audit.OrderingAuditor`
+    that watches same-time event ties for ambiguous resolution order;
+    see :mod:`repro.sim.audit`. Off by default — the audited hot path
+    pays one extra comparison per event.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    #: When set (via :meth:`install_default_audit`), every subsequently
+    #: constructed simulator self-registers an auditor here. Lets test
+    #: harnesses audit experiment runners that build their simulators
+    #: internally.
+    _default_audit_registry: ClassVar[list[OrderingAuditor] | None] = None
+
+    def __init__(self, start_time: float = 0.0, audit_ordering: bool = False) -> None:
         self.clock = SimClock(start_time)
         self.queue = EventQueue()
         self._stopped = False
         self._processed = 0
-        self.telemetry: "Telemetry | None" = None
-        self._tel_events = None  # cached sim_events_total counter
+        self.telemetry: Telemetry | None = None
+        self._tel_events: MetricCounter | None = None  # cached sim_events_total counter
+        self._firing_seq = -1  # seq of the event whose callback is running
+        self._in_event = False  # reentrancy guard for run()/step()
+        self.auditor: OrderingAuditor | None = None
+        self._last_event: Event | None = None
+        if audit_ordering:
+            self.enable_ordering_audit()
+        registry = Simulator._default_audit_registry
+        if registry is not None and self.auditor is None:
+            registry.append(self.enable_ordering_audit())
+
+    # ------------------------------------------------------------------
+    # Ordering audit
+    # ------------------------------------------------------------------
+    def enable_ordering_audit(self) -> OrderingAuditor:
+        """Attach (or return the existing) ordering auditor.
+
+        Observation starts with the next popped event; enabling
+        mid-run audits the remainder of the mission.
+        """
+        if self.auditor is None:
+            self.auditor = OrderingAuditor()
+        return self.auditor
+
+    @classmethod
+    def install_default_audit(cls) -> list[OrderingAuditor]:
+        """Audit every simulator constructed from now on.
+
+        Returns the live registry the auditors accumulate into. Pair
+        with :meth:`clear_default_audit` (use try/finally in tests).
+        """
+        registry: list[OrderingAuditor] = []
+        cls._default_audit_registry = registry
+        return registry
+
+    @classmethod
+    def clear_default_audit(cls) -> None:
+        """Stop auditing newly constructed simulators."""
+        cls._default_audit_registry = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -49,13 +101,13 @@ class Simulator:
         """
         if t < self.now():
             raise ValueError(f"cannot schedule in the past: {t} < {self.now()}")
-        return self.queue.push(t, callback, label)
+        return self.queue.push(t, callback, label, parent=self._firing_seq)
 
     def schedule_after(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.queue.push(self.now() + delay, callback, label)
+        return self.queue.push(self.now() + delay, callback, label, parent=self._firing_seq)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -68,7 +120,7 @@ class Simulator:
         label: str = "",
         start_delay: float | None = None,
         on_error: str = "raise",
-    ) -> "Process":
+    ) -> Process:
         """Run ``callback`` every ``period`` seconds until stopped.
 
         Returns a :class:`Process` handle whose :meth:`Process.stop`
@@ -83,22 +135,48 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Fire the single next event. Returns ``False`` if queue empty."""
+        """Fire the single next event. Returns ``False`` if queue empty.
+
+        Raises ``RuntimeError`` when called from inside a firing event
+        callback — re-entering the drain loop would fire events out of
+        order (statically checked as SIM001 by ``repro.lint``).
+        """
+        if self._in_event:
+            raise RuntimeError(
+                "Simulator.step/run called reentrantly from an event callback; "
+                "schedule follow-up events instead"
+            )
         if not self.queue:
             return False
         ev = self.queue.pop()
         self.clock.advance_to(ev.time)
-        tel = self.telemetry
-        if tel is None:
-            ev.callback()
-        else:
-            span = tel.tracer.begin(ev.label or "event", track="kernel")
-            try:
+        auditor = self.auditor
+        if auditor is not None:
+            last = self._last_event
+            if (
+                last is not None
+                and ev.time == last.time  # lint: ok(SIM002): exact tie detection is the point
+                and ev.parent != last.seq
+            ):
+                auditor.observe(last, ev)
+            self._last_event = ev
+        self._firing_seq = ev.seq
+        self._in_event = True
+        try:
+            tel = self.telemetry
+            if tel is None:
                 ev.callback()
-            finally:
-                tel.tracer.end(span)
-            if self._tel_events is not None:
-                self._tel_events.inc()
+            else:
+                span = tel.tracer.begin(ev.label or "event", track="kernel")
+                try:
+                    ev.callback()
+                finally:
+                    tel.tracer.end(span)
+                if self._tel_events is not None:
+                    self._tel_events.inc()
+        finally:
+            self._in_event = False
+            self._firing_seq = -1
         self._processed += 1
         return True
 
@@ -111,7 +189,15 @@ class Simulator:
         over [0, until] are well-defined. ``max_events`` is counted off
         :attr:`events_processed` — the same tally :meth:`step`
         maintains — so the two can never drift apart.
+
+        Raises ``RuntimeError`` when called from inside a firing event
+        callback (see :meth:`step`).
         """
+        if self._in_event:
+            raise RuntimeError(
+                "Simulator.step/run called reentrantly from an event callback; "
+                "schedule follow-up events instead"
+            )
         self._stopped = False
         start = self._processed
         while self.queue and not self._stopped:

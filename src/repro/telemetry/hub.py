@@ -17,8 +17,9 @@ None`` test per hook site.
 from __future__ import annotations
 
 import json
+from collections.abc import Callable
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any
 
 from repro.telemetry.events import EventBus, TelemetryEvent
 from repro.telemetry.metrics import Registry

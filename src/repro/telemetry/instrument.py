@@ -34,13 +34,16 @@ name                            kind       labels
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.telemetry.hub import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.pool import WorkerPool
     from repro.compute.host import Host
     from repro.middleware.graph import Graph
+    from repro.recovery.manager import RecoveryManager
     from repro.sim.kernel import Process, Simulator
 
 
@@ -80,7 +83,7 @@ class GraphInstruments:
         )
 
 
-def instrument_simulator(sim: "Simulator", telemetry: Telemetry) -> None:
+def instrument_simulator(sim: Simulator, telemetry: Telemetry) -> None:
     """Attach ``telemetry`` to the kernel: event spans + events counter."""
     sim.telemetry = telemetry
     sim._tel_events = telemetry.metrics.counter(
@@ -88,17 +91,17 @@ def instrument_simulator(sim: "Simulator", telemetry: Telemetry) -> None:
     )
 
 
-def instrument_graph(graph: "Graph", telemetry: Telemetry) -> None:
+def instrument_graph(graph: Graph, telemetry: Telemetry) -> None:
     """Attach ``telemetry`` to a graph (idempotent)."""
     graph.set_telemetry(telemetry)
 
 
 def instrument_hosts(
     telemetry: Telemetry,
-    sim: "Simulator",
-    hosts: Iterable["Host"],
+    sim: Simulator,
+    hosts: Iterable[Host],
     period_s: float = 1.0,
-) -> "Process":
+) -> Process:
     """Start the periodic flusher sampling energy/cycles into gauges.
 
     Returns the flusher :class:`~repro.sim.kernel.Process`; it is also
@@ -131,9 +134,9 @@ def instrument_hosts(
 
 def instrument_pool(
     telemetry: Telemetry,
-    pool,
+    pool: WorkerPool,
     period_s: float = 0.5,
-) -> "Process":
+) -> Process:
     """Periodic sampler for a :class:`repro.cloud.WorkerPool`.
 
     The pool already publishes its per-worker
@@ -162,9 +165,9 @@ def instrument_pool(
 
 def instrument_recovery(
     telemetry: Telemetry,
-    manager,
+    manager: RecoveryManager,
     period_s: float = 1.0,
-) -> "Process":
+) -> Process:
     """Periodic sampler for a :class:`repro.recovery.RecoveryManager`.
 
     The recovery layer already emits discrete events (``lease_expired``,
@@ -201,9 +204,9 @@ def instrument_recovery(
 
 def instrument_workload(
     telemetry: Telemetry,
-    sim: "Simulator",
-    graph: "Graph",
-    hosts: Iterable["Host"],
+    sim: Simulator,
+    graph: Graph,
+    hosts: Iterable[Host],
     flush_period_s: float = 1.0,
 ) -> None:
     """One-call wiring for a built workload: clock, kernel, graph, hosts."""

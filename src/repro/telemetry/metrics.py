@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Iterable
 
 #: Default histogram bucket upper bounds (seconds-flavoured, exponential).
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -62,7 +62,7 @@ class _Instrument:
         self.max_label_sets = max_label_sets
         self._children: dict[str, object] = {}
 
-    def _child(self, labels: dict[str, str], factory) -> object:
+    def _child(self, labels: dict[str, str], factory: Callable[[], object]) -> object:
         key = _label_key({k: str(v) for k, v in labels.items()})
         child = self._children.get(key)
         if child is None:
@@ -277,7 +277,9 @@ class Registry:
     def __init__(self) -> None:
         self._instruments: dict[str, _Instrument] = {}
 
-    def _get_or_create(self, name: str, kind, factory) -> _Instrument:
+    def _get_or_create(
+        self, name: str, kind: type[_Instrument], factory: Callable[[], _Instrument]
+    ) -> _Instrument:
         inst = self._instruments.get(name)
         if inst is not None:
             if not isinstance(inst, kind):

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import json
 import time
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any
 
 #: Microseconds per clock unit (clock seconds -> Chrome trace ``ts``).
 _US = 1e6

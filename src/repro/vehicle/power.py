@@ -78,7 +78,7 @@ class PowerBudget:
             "wireless": self.wireless_j,
         }
 
-    def add(self, other: "PowerBudget") -> "PowerBudget":
+    def add(self, other: PowerBudget) -> PowerBudget:
         """Elementwise sum (combining mission segments)."""
         return PowerBudget(
             self.sensor_j + other.sensor_j,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
+from repro.sim.rng import seeded_rng
 
 from repro.compute.host import Host
 from repro.compute.platform import CLOUD_SERVER, EDGE_GATEWAY, TURTLEBOT3_PI
@@ -93,14 +93,14 @@ def build_exploration(
     instruments the kernel, graph and host energy meters.
     """
     sim = Simulator()
-    lgv = LGV(world, profile=profile, start=start, rng=np.random.default_rng(seed + 1))
+    lgv = LGV(world, profile=profile, start=start, rng=seeded_rng(seed + 1))
 
     lgv_host = Host("lgv", TURTLEBOT3_PI, on_robot=True)
     gateway_host = Host("gateway", EDGE_GATEWAY)
     cloud_host = Host("cloud", CLOUD_SERVER)
 
     wap = WapSite(*wap_xy)
-    link = WirelessLink(wap, lambda: (lgv.pose.x, lgv.pose.y), np.random.default_rng(seed + 2))
+    link = WirelessLink(wap, lambda: (lgv.pose.x, lgv.pose.y), seeded_rng(seed + 2))
     fabric = NetworkFabric(
         link,
         wired_latency=wired_latency or {"gateway": 0.0015, "cloud": 0.025},
@@ -115,7 +115,7 @@ def build_exploration(
         resolution=world.resolution,
         origin=world.origin,
     )
-    slam = GMapping(slam_cfg, rng=np.random.default_rng(seed + 3), initial_pose=start)
+    slam = GMapping(slam_cfg, rng=seeded_rng(seed + 3), initial_pose=start)
     costmap = LayeredCostmap(
         rows=world.rows,
         cols=world.cols,

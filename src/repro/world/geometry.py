@@ -46,7 +46,7 @@ class Pose2D:
         """The (x, y) position as a float64 array."""
         return np.array([self.x, self.y], dtype=np.float64)
 
-    def compose(self, other: "Pose2D") -> "Pose2D":
+    def compose(self, other: Pose2D) -> Pose2D:
         """Rigid-body composition ``self ∘ other``.
 
         ``other`` is interpreted in this pose's frame; the result is in
@@ -59,7 +59,7 @@ class Pose2D:
             theta=normalize_angle(self.theta + other.theta),
         )
 
-    def inverse(self) -> "Pose2D":
+    def inverse(self) -> Pose2D:
         """The SE(2) inverse such that ``p.compose(p.inverse())`` is identity."""
         c, s = math.cos(self.theta), math.sin(self.theta)
         return Pose2D(
@@ -68,15 +68,15 @@ class Pose2D:
             theta=normalize_angle(-self.theta),
         )
 
-    def relative_to(self, frame: "Pose2D") -> "Pose2D":
+    def relative_to(self, frame: Pose2D) -> Pose2D:
         """Express this pose in the coordinate frame of ``frame``."""
         return frame.inverse().compose(self)
 
-    def distance_to(self, other: "Pose2D") -> float:
+    def distance_to(self, other: Pose2D) -> float:
         """Euclidean distance between the two positions."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
-    def heading_to(self, other: "Pose2D") -> float:
+    def heading_to(self, other: Pose2D) -> float:
         """Bearing (world frame) from this pose's position to ``other``'s."""
         return math.atan2(other.y - self.y, other.x - self.x)
 
@@ -85,7 +85,7 @@ class Pose2D:
         return np.array([self.x, self.y, self.theta], dtype=np.float64)
 
     @staticmethod
-    def from_array(arr: np.ndarray) -> "Pose2D":
+    def from_array(arr: np.ndarray) -> Pose2D:
         """Build a pose from ``[x, y, theta]``."""
         return Pose2D(float(arr[0]), float(arr[1]), normalize_angle(float(arr[2])))
 

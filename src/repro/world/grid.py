@@ -66,14 +66,14 @@ class OccupancyGrid:
         resolution: float = 0.05,
         origin: Pose2D = Pose2D(),
         fill: CellState = CellState.FREE,
-    ) -> "OccupancyGrid":
+    ) -> OccupancyGrid:
         """An all-``fill`` grid of the given shape."""
         return cls(np.full((rows, cols), int(fill), dtype=np.int8), resolution, origin)
 
     @classmethod
     def from_ascii(
         cls, art: str, resolution: float = 0.05, origin: Pose2D = Pose2D()
-    ) -> "OccupancyGrid":
+    ) -> OccupancyGrid:
         """Build a grid from ASCII art.
 
         ``#`` = occupied, ``.`` or space = free, ``?`` = unknown. The
@@ -94,7 +94,7 @@ class OccupancyGrid:
                     data[rows - 1 - r, c] = int(CellState.UNKNOWN)
         return cls(data, resolution, origin)
 
-    def copy(self) -> "OccupancyGrid":
+    def copy(self) -> OccupancyGrid:
         """Deep copy (data array is copied)."""
         return OccupancyGrid(self.data.copy(), self.resolution, self.origin)
 

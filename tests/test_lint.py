@@ -1,0 +1,553 @@
+"""Tests for the repro.lint static-analysis pass.
+
+Each checker gets positive (flagged), negative (clean) and suppressed
+fixture snippets, plus end-to-end ``repro lint --format json`` runs
+over a temp tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    ALL_CHECKERS,
+    SuppressionIndex,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import allowed_codes
+
+
+def lint(code: str, only: str | None = None) -> list[Violation]:
+    src = textwrap.dedent(code)
+    checkers = None
+    if only is not None:
+        checkers = [c for c in ALL_CHECKERS if c.code == only]
+        assert checkers, f"unknown code {only}"
+    return lint_source(src, path="fixture.py", checkers=checkers)
+
+
+def codes(violations: list[Violation]) -> list[str]:
+    return [v.code for v in violations]
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall clock
+# ----------------------------------------------------------------------
+class TestDet001:
+    def test_time_time_flagged(self):
+        vs = lint("import time\nt = time.time()\n", only="DET001")
+        assert codes(vs) == ["DET001"]
+        assert vs[0].line == 2
+
+    def test_perf_counter_flagged_through_alias(self):
+        vs = lint(
+            "from time import perf_counter as pc\nt = pc()\n",
+            only="DET001",
+        )
+        assert codes(vs) == ["DET001"]
+
+    def test_datetime_now_flagged(self):
+        vs = lint(
+            "from datetime import datetime\nstamp = datetime.now()\n",
+            only="DET001",
+        )
+        assert codes(vs) == ["DET001"]
+
+    def test_date_today_flagged(self):
+        vs = lint("import datetime\nd = datetime.date.today()\n", only="DET001")
+        assert codes(vs) == ["DET001"]
+
+    def test_sim_clock_clean(self):
+        vs = lint("def f(sim):\n    return sim.now()\n", only="DET001")
+        assert vs == []
+
+    def test_suppressed(self):
+        vs = lint(
+            "import time\nt = time.time()  # lint: ok(DET001): benchmark\n",
+            only="DET001",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — randomness
+# ----------------------------------------------------------------------
+class TestDet002:
+    def test_import_random_flagged(self):
+        vs = lint("import random\n", only="DET002")
+        assert codes(vs) == ["DET002"]
+
+    def test_from_random_import_flagged(self):
+        vs = lint("from random import choice\n", only="DET002")
+        assert codes(vs) == ["DET002"]
+
+    def test_numpy_default_rng_flagged(self):
+        vs = lint(
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+            only="DET002",
+        )
+        assert codes(vs) == ["DET002"]
+
+    def test_seeded_rng_clean(self):
+        vs = lint(
+            "from repro.sim.rng import seeded_rng\nrng = seeded_rng(0)\n",
+            only="DET002",
+        )
+        assert vs == []
+
+    def test_generator_method_calls_clean(self):
+        # draws *from a generator object* are fine; construction is not
+        vs = lint("def f(rng):\n    return rng.random()\n", only="DET002")
+        assert vs == []
+
+    def test_file_suppression(self):
+        vs = lint(
+            "# lint: file-ok(DET002): rng construction site\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng(0)\n"
+            "b = np.random.default_rng(1)\n",
+            only="DET002",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — order-unstable iteration
+# ----------------------------------------------------------------------
+class TestDet003:
+    def test_for_over_set_literal_flagged(self):
+        vs = lint("for x in {1, 2, 3}:\n    print(x)\n", only="DET003")
+        assert codes(vs) == ["DET003"]
+
+    def test_for_over_set_call_flagged(self):
+        vs = lint("for x in set([3, 1]):\n    print(x)\n", only="DET003")
+        assert codes(vs) == ["DET003"]
+
+    def test_for_over_set_typed_name_flagged(self):
+        vs = lint(
+            "def f(items):\n    seen = set(items)\n    for x in seen:\n        print(x)\n",
+            only="DET003",
+        )
+        assert codes(vs) == ["DET003"]
+
+    def test_comprehension_over_set_flagged(self):
+        vs = lint("out = [x for x in {1, 2}]\n", only="DET003")
+        assert codes(vs) == ["DET003"]
+
+    def test_sorted_set_clean(self):
+        vs = lint("for x in sorted({3, 1}):\n    print(x)\n", only="DET003")
+        assert vs == []
+
+    def test_membership_use_clean(self):
+        vs = lint(
+            "def f(items, x):\n    seen = set(items)\n    return x in seen\n",
+            only="DET003",
+        )
+        assert vs == []
+
+    def test_id_dict_key_flagged(self):
+        vs = lint("def f(d, obj):\n    d[id(obj)] = 1\n", only="DET003")
+        assert codes(vs) == ["DET003"]
+
+    def test_id_dict_literal_key_flagged(self):
+        vs = lint("def f(obj):\n    return {id(obj): obj}\n", only="DET003")
+        assert codes(vs) == ["DET003"]
+
+    def test_suppressed(self):
+        vs = lint(
+            "for x in {1, 2}:  # lint: ok(DET003)\n    print(x)\n",
+            only="DET003",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — ambient entropy
+# ----------------------------------------------------------------------
+class TestDet004:
+    def test_environ_read_flagged(self):
+        vs = lint("import os\nv = os.environ['SEED']\n", only="DET004")
+        assert codes(vs) == ["DET004"]
+
+    def test_getenv_flagged(self):
+        vs = lint("import os\nv = os.getenv('SEED')\n", only="DET004")
+        assert codes(vs) == ["DET004"]
+
+    def test_urandom_flagged(self):
+        vs = lint("import os\nv = os.urandom(8)\n", only="DET004")
+        assert codes(vs) == ["DET004"]
+
+    def test_uuid4_flagged(self):
+        vs = lint("import uuid\nv = uuid.uuid4()\n", only="DET004")
+        assert codes(vs) == ["DET004"]
+
+    def test_plain_os_use_clean(self):
+        vs = lint("import os\np = os.path.join('a', 'b')\n", only="DET004")
+        assert vs == []
+
+    def test_suppressed(self):
+        vs = lint(
+            "import os\nv = os.getenv('CI')  # lint: ok(DET004): CI detection\n",
+            only="DET004",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# SIM001 — reentrant Simulator.run
+# ----------------------------------------------------------------------
+class TestSim001:
+    def test_registered_callback_calling_run_flagged(self):
+        vs = lint(
+            """
+            def tick(sim):
+                sim.run(until=5.0)
+
+            def setup(sim):
+                sim.schedule_after(1.0, tick)
+            """,
+            only="SIM001",
+        )
+        assert codes(vs) == ["SIM001"]
+
+    def test_lambda_callback_flagged(self):
+        vs = lint(
+            "def setup(sim):\n"
+            "    sim.schedule_after(1.0, lambda: sim.run(until=2.0))\n",
+            only="SIM001",
+        )
+        assert codes(vs) == ["SIM001"]
+
+    def test_non_callback_run_clean(self):
+        vs = lint(
+            """
+            def main(sim):
+                sim.schedule_after(1.0, step_mission)
+                sim.run(until=10.0)
+
+            def step_mission():
+                pass
+            """,
+            only="SIM001",
+        )
+        assert vs == []
+
+    def test_runner_run_clean(self):
+        # .run on a non-sim receiver inside a callback is fine
+        vs = lint(
+            """
+            def tick(runner):
+                runner.run()
+
+            def setup(sim):
+                sim.every(1.0, tick)
+            """,
+            only="SIM001",
+        )
+        assert vs == []
+
+    def test_suppressed(self):
+        vs = lint(
+            """
+            def tick(sim):
+                sim.run(until=5.0)  # lint: ok(SIM001)
+
+            def setup(sim):
+                sim.schedule_after(1.0, tick)
+            """,
+            only="SIM001",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# SIM002 — float equality on quantities
+# ----------------------------------------------------------------------
+class TestSim002:
+    def test_time_eq_flagged(self):
+        vs = lint("def f(deadline, now):\n    return now == deadline\n", only="SIM002")
+        assert codes(vs) == ["SIM002"]
+
+    def test_now_call_eq_flagged(self):
+        vs = lint("def f(sim, t):\n    return sim.now() == t\n", only="SIM002")
+        assert codes(vs) == ["SIM002"]
+
+    def test_energy_neq_flagged(self):
+        vs = lint(
+            "def f(energy_j, budget):\n    return energy_j != budget\n",
+            only="SIM002",
+        )
+        assert codes(vs) == ["SIM002"]
+
+    def test_inequality_clean(self):
+        vs = lint("def f(deadline, now):\n    return now >= deadline\n", only="SIM002")
+        assert vs == []
+
+    def test_non_quantity_eq_clean(self):
+        vs = lint("def f(name, kind):\n    return name == kind\n", only="SIM002")
+        assert vs == []
+
+    def test_none_comparison_clean(self):
+        vs = lint("def f(t):\n    return t == None\n", only="SIM002")
+        assert vs == []
+
+    def test_suppressed(self):
+        vs = lint(
+            "def f(t0, t1):\n    return t0 == t1  # lint: ok(SIM002): exact tie\n",
+            only="SIM002",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# SIM003 — mutable defaults
+# ----------------------------------------------------------------------
+class TestSim003:
+    def test_list_default_flagged(self):
+        vs = lint("def f(log=[]):\n    log.append(1)\n", only="SIM003")
+        assert codes(vs) == ["SIM003"]
+
+    def test_dict_default_flagged(self):
+        vs = lint("def f(cache={}):\n    pass\n", only="SIM003")
+        assert codes(vs) == ["SIM003"]
+
+    def test_set_ctor_default_flagged(self):
+        vs = lint("def f(seen=set()):\n    pass\n", only="SIM003")
+        assert codes(vs) == ["SIM003"]
+
+    def test_kwonly_default_flagged(self):
+        vs = lint("def f(*, log=[]):\n    pass\n", only="SIM003")
+        assert codes(vs) == ["SIM003"]
+
+    def test_none_default_clean(self):
+        vs = lint("def f(log=None):\n    log = [] if log is None else log\n", only="SIM003")
+        assert vs == []
+
+    def test_tuple_default_clean(self):
+        vs = lint("def f(dims=(1, 2)):\n    pass\n", only="SIM003")
+        assert vs == []
+
+    def test_suppressed(self):
+        vs = lint("def f(log=[]):  # lint: ok(SIM003)\n    pass\n", only="SIM003")
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# SIM004 — unguarded telemetry
+# ----------------------------------------------------------------------
+class TestSim004:
+    def test_unguarded_emit_flagged(self):
+        vs = lint(
+            """
+            class Node:
+                def fire(self):
+                    self.telemetry.emit("tick", t=0.0)
+            """,
+            only="SIM004",
+        )
+        assert codes(vs) == ["SIM004"]
+
+    def test_if_not_none_guard_clean(self):
+        vs = lint(
+            """
+            class Node:
+                def fire(self):
+                    if self.telemetry is not None:
+                        self.telemetry.emit("tick", t=0.0)
+            """,
+            only="SIM004",
+        )
+        assert vs == []
+
+    def test_local_alias_guard_clean(self):
+        vs = lint(
+            """
+            class Node:
+                def fire(self):
+                    tel = self.telemetry
+                    if tel is not None:
+                        tel.metrics.counter("ticks").inc()
+            """,
+            only="SIM004",
+        )
+        assert vs == []
+
+    def test_early_return_guard_clean(self):
+        vs = lint(
+            """
+            class Node:
+                def _emit(self, kind):
+                    if self.telemetry is None:
+                        return
+                    self.telemetry.emit(kind, t=0.0)
+            """,
+            only="SIM004",
+        )
+        assert vs == []
+
+    def test_boolop_guard_clean(self):
+        vs = lint(
+            "def f(tel):\n    tel and tel.emit('tick', t=0.0)\n",
+            only="SIM004",
+        )
+        assert vs == []
+
+    def test_nonnull_annotation_clean(self):
+        vs = lint(
+            """
+            def instrument(sim, telemetry: Telemetry):
+                telemetry.metrics.counter("x").inc()
+            """,
+            only="SIM004",
+        )
+        assert vs == []
+
+    def test_unguarded_alias_flagged(self):
+        vs = lint(
+            """
+            class Node:
+                def fire(self):
+                    tel = self.telemetry
+                    tel.emit("tick", t=0.0)
+            """,
+            only="SIM004",
+        )
+        assert codes(vs) == ["SIM004"]
+
+    def test_suppressed(self):
+        vs = lint(
+            """
+            class Node:
+                def fire(self):
+                    self.telemetry.emit("tick", t=0.0)  # lint: ok(SIM004)
+            """,
+            only="SIM004",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# Suppression syntax
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_line_codes_parsed(self):
+        idx = SuppressionIndex("x = 1  # lint: ok(DET001, SIM002): reason\n")
+        assert idx.is_suppressed("DET001", 1)
+        assert idx.is_suppressed("SIM002", 1)
+        assert not idx.is_suppressed("DET002", 1)
+        assert not idx.is_suppressed("DET001", 2)
+
+    def test_wildcard(self):
+        idx = SuppressionIndex("x = 1  # lint: ok(*)\n")
+        assert idx.is_suppressed("DET001", 1)
+
+    def test_file_level(self):
+        idx = SuppressionIndex("# lint: file-ok(SIM004): internal\nx = 1\n")
+        assert idx.is_suppressed("SIM004", 99)
+        assert not idx.is_suppressed("DET001", 1)
+
+
+# ----------------------------------------------------------------------
+# Violation record + output contract
+# ----------------------------------------------------------------------
+class TestViolationOutput:
+    def test_render_format(self):
+        v = Violation(path="a/b.py", line=3, col=7, code="DET001", message="msg")
+        assert v.render() == "a/b.py:3:7 DET001 msg"
+
+    def test_positions_are_exact(self):
+        vs = lint("import time\n\n\nt = time.time()\n", only="DET001")
+        assert (vs[0].line, vs[0].col) == (4, 4)
+
+    def test_sorted_stable_output(self):
+        src = "import time\nb = time.time()\na = time.time()\n"
+        vs = lint(src, only="DET001")
+        assert [v.line for v in vs] == [2, 3]
+
+
+# ----------------------------------------------------------------------
+# Engine: allowlist + path walking
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_allowlist_matching(self):
+        allow = (("*/telemetry/*", ("DET001",)),)
+        assert "DET001" in allowed_codes("src/repro/telemetry/spans.py", allow)
+        assert allowed_codes("src/repro/sim/kernel.py", allow) == frozenset()
+
+    def test_lint_file_applies_allowlist(self, tmp_path):
+        pkg = tmp_path / "telemetry"
+        pkg.mkdir()
+        f = pkg / "spans.py"
+        f.write_text("import time\nt = time.time()\n")
+        allow = (("*/telemetry/*", ("DET001",)),)
+        assert lint_file(f, allowlist=allow) == []
+        assert codes(lint_file(f, allowlist=())) == ["DET001"]
+
+    def test_lint_paths_walks_tree_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "a.py").write_text("import random\n")
+        vs = lint_paths([tmp_path], allowlist=())
+        assert [v.code for v in vs] == ["DET002", "DET001"]
+        assert vs[0].path.endswith("a.py") and vs[1].path.endswith("b.py")
+
+
+# ----------------------------------------------------------------------
+# End-to-end CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    @pytest.fixture()
+    def bad_tree(self, tmp_path):
+        (tmp_path / "clean.py").write_text("def f(sim):\n    return sim.now()\n")
+        (tmp_path / "dirty.py").write_text(
+            "import time\n\ndef f(log=[]):\n    return time.time()\n"
+        )
+        return tmp_path
+
+    def test_json_output_and_exit_code(self, bad_tree, capsys):
+        rc = lint_main([str(bad_tree), "--format", "json"])
+        assert rc == 1
+        out = json.loads(capsys.readouterr().out)
+        assert {(v["code"], v["line"]) for v in out} == {("SIM003", 3), ("DET001", 4)}
+        for v in out:
+            assert v["path"].endswith("dirty.py")
+
+    def test_text_output_format(self, bad_tree, capsys):
+        rc = lint_main([str(bad_tree)])
+        assert rc == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert any(":4:" in line and "DET001" in line for line in lines)
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(sim):\n    return sim.now()\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert lint_main([str(tmp_path), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out.splitlines()[-1]) == []
+
+    def test_select_filters_checkers(self, bad_tree):
+        assert lint_main([str(bad_tree), "--select", "DET002"]) == 0
+        assert lint_main([str(bad_tree), "--select", "DET001"]) == 1
+
+    def test_unknown_select_code(self, bad_tree, capsys):
+        assert lint_main([str(bad_tree), "--select", "NOPE99"]) == 2
+        assert "unknown checker code" in capsys.readouterr().err
+
+    def test_repo_cli_dispatches_lint(self, bad_tree):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", str(bad_tree)]) == 1
+
+
+def test_repo_tree_is_clean():
+    """The shipped tree must satisfy its own invariants."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    vs = lint_paths([root])
+    assert vs == [], "\n".join(v.render() for v in vs)
