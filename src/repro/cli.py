@@ -89,6 +89,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a metrics snapshot JSON and enable telemetry",
     )
+    parser.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="record causal request traces and print the critical-path "
+        "report (which segment each deadline miss spent its budget in)",
+    )
+    parser.add_argument(
+        "--kernel-profile-out",
+        metavar="PATH",
+        default=None,
+        help="profile the DES kernel (wall time per event label, heap "
+        "churn, causal stacks) and write the merged JSON profile",
+    )
     fleet = parser.add_argument_group("fleet", "options for the 'fleet' artifact")
     fleet.add_argument(
         "--robots",
@@ -172,8 +185,19 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     tel: Telemetry | None = None
-    if trace_mode or args.trace_out or args.metrics_out:
+    if trace_mode or args.trace_out or args.metrics_out or args.critical_path:
         tel = Telemetry()
+    if tel is not None and (trace_mode or args.critical_path):
+        # Instrumented runs carry the obs layer: causal request traces
+        # (one tree per tick) plus the streaming SLO monitor.
+        tel.enable_obs(seed=args.seed)
+        tel.enable_slo()
+
+    profilers = None
+    if args.kernel_profile_out:
+        from repro.sim.kernel import Simulator
+
+        profilers = Simulator.install_default_profiling()
 
     for name in names:
         runner, _ = ARTIFACTS[name]
@@ -202,6 +226,35 @@ def main(argv: list[str] | None = None) -> int:
         if name == "fig9" and args.fig9_out:
             p = result.write_json(args.fig9_out)
             print(f"[fig9 sweep JSON written to {p}]")
+
+    if profilers is not None:
+        from repro.obs.profiler import aggregate_profiles
+        from repro.sim.kernel import Simulator
+
+        Simulator.clear_default_profiling()
+        import json
+
+        profile = aggregate_profiles(profilers)
+        with open(args.kernel_profile_out, "w") as f:
+            json.dump(profile, f, indent=1, sort_keys=True)
+        print(
+            f"[kernel profile written to {args.kernel_profile_out} — "
+            f"{profile['simulators']} simulator(s), {profile['events']} events, "
+            f"{profile['wall_us_per_event']:.1f} us/event]"
+        )
+
+    if tel is not None and args.critical_path:
+        from repro.obs.analyze import critical_path_report
+
+        print()
+        print("######## critical path ########")
+        if tel.requests is None or len(tel.requests) == 0:
+            print(
+                "no request traces recorded — nothing crossed an "
+                "obs-instrumented path in this run"
+            )
+        else:
+            print(critical_path_report(tel.requests))
 
     if tel is not None:
         trace_out = args.trace_out or (f"{'_'.join(names)}_trace.json" if trace_mode else None)

@@ -25,6 +25,7 @@ from repro.sim.kernel import Process, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Telemetry
+    from repro.telemetry.events import TelemetryEvent
 
 #: Builds the host for scale-up step ``i`` (0-based).
 HostFactory = Callable[[int], Host]
@@ -101,6 +102,36 @@ class Autoscaler:
         """Stop the control loop."""
         if self._proc is not None:
             self._proc.stop()
+
+    def watch_slo(self) -> bool:
+        """Scale up on ``slo_breach`` events (repro.obs SLO monitor).
+
+        A burn-rate breach is a faster, per-tenant signal than the
+        utilization gauges the periodic loop samples — it fires the
+        moment some tenant's deadline-miss rate crosses its budget,
+        not up to ``period_s`` later. The normal cooldown still
+        applies, so a breach storm costs at most one extra worker per
+        cooldown window. Returns ``False`` when the run carries no
+        telemetry to subscribe on.
+        """
+        if self.telemetry is None:
+            return False
+        self.telemetry.events.on("slo_breach", self._on_slo_breach)
+        return True
+
+    def _on_slo_breach(self, ev: "TelemetryEvent") -> None:
+        now = self.sim.now()
+        if now - self._last_action_t < self.cooldown_s:
+            return
+        n_live = len([w for w in self.pool.workers if w.up])
+        if n_live + self._pending_up >= self.max_workers:
+            return
+        self._emit(
+            "autoscale_slo_trigger",
+            tenant=ev.get("tenant"),
+            burn_rate=ev.get("burn_rate"),
+        )
+        self._scale_up(now)
 
     # ------------------------------------------------------------------
     # Signals

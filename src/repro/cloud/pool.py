@@ -41,7 +41,8 @@ class _Job:
     """One request being served (or queued) on a worker."""
 
     __slots__ = (
-        "req", "on_complete", "width", "started_at", "event", "remaining_s"
+        "req", "on_complete", "width", "started_at", "event", "remaining_s",
+        "enqueued_at",
     )
 
     def __init__(
@@ -53,6 +54,7 @@ class _Job:
         self.started_at = 0.0
         self.event: Event | None = None  # queueing-mode completion event
         self.remaining_s = 0.0  # PS-mode isolated work left
+        self.enqueued_at = 0.0  # when this placement reached the worker
 
 
 class PoolWorker:
@@ -114,11 +116,30 @@ class PoolWorker:
         """Accept one request under this worker's discipline."""
         width = min(req.threads, self.capacity)
         job = _Job(req, on_complete, width)
+        job.enqueued_at = self.sim.now()
         if self.scheduler.sharing:
             self._ps_admit(job)
         else:
             self._queue.append(job)
             self._dispatch()
+
+    def _trace_segment(
+        self, job: _Job, name: str, t_start: float, t_end: float, **attrs: object
+    ) -> None:
+        """Record one causal segment against the job's request trace.
+
+        Segments telescope: ``queue_wait`` spans enqueue -> start and
+        ``service`` spans start -> finish, so a request's segment sum
+        equals its pool sojourn even across crash rebalances (each
+        placement contributes its own pair; eviction closes the partial
+        ones at crash time).
+        """
+        tel = self.telemetry
+        if tel is None or tel.requests is None or job.req.ctx is None:
+            return
+        tel.requests.segment(
+            job.req.ctx, name, t_start, t_end, worker=self.host.name, **attrs
+        )
 
     def evict_all(self) -> list[tuple[TickRequest, CompletionFn]]:
         """Cancel everything (crash/retire); returns requests to re-place.
@@ -136,6 +157,11 @@ class PoolWorker:
                 self.sim.cancel(j.event)
                 j.event = None
             self.host.vacate(j.width, now)
+            # Close the partial service segment at crash time so the
+            # request's timeline stays gap-free across the rebalance.
+            self._trace_segment(j, "service", j.started_at, now, evicted=True)
+        for j in self._queue:
+            self._trace_segment(j, "queue_wait", j.enqueued_at, now, evicted=True)
         if self._ps_event is not None:
             self.sim.cancel(self._ps_event)
             self._ps_event = None
@@ -159,6 +185,7 @@ class PoolWorker:
 
     def _start(self, job: _Job, now: float) -> None:
         job.started_at = now
+        self._trace_segment(job, "queue_wait", job.enqueued_at, now)
         duration = self.host.exec_time(
             job.req.cycles, job.req.threads, job.req.profile
         )
@@ -176,6 +203,7 @@ class PoolWorker:
         self._active.remove(job)
         self.host.vacate(job.width, now)
         self.host.account(job.req.tenant, job.req.cycles, now - job.started_at)
+        self._trace_segment(job, "service", job.started_at, now, width=job.width)
         self.served += 1
         job.on_complete(job.req, now)
         self._dispatch()
@@ -200,6 +228,8 @@ class PoolWorker:
         now = self.sim.now()
         self._ps_advance(now)
         job.started_at = now
+        # Processor sharing admits immediately: queue_wait is zero-width.
+        self._trace_segment(job, "queue_wait", job.enqueued_at, now)
         job.remaining_s = self.host.exec_time(
             job.req.cycles, job.req.threads, job.req.profile
         )
@@ -231,6 +261,9 @@ class PoolWorker:
             self.host.vacate(job.width, now)
             self.host.account(
                 job.req.tenant, job.req.cycles, now - job.started_at
+            )
+            self._trace_segment(
+                job, "service", job.started_at, now, width=job.width, shared=True
             )
             self.served += 1
             job.on_complete(job.req, now)

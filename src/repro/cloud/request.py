@@ -10,8 +10,12 @@ the robot's Eq. 2c velocity to hold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.compute.executor import DWA_PROFILE, ParallelProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import TraceContext
 
 
 @dataclass
@@ -53,6 +57,10 @@ class TickRequest:
     arrival_at: float = field(default=0.0, compare=False)
     #: How many times a worker crash forced this request to move.
     rebalances: int = field(default=0, compare=False)
+    #: Causal trace context (repro.obs), set by the issuing tenant when
+    #: request tracing is enabled; ``None`` otherwise. Never compared —
+    #: a traced request equals its untraced twin.
+    ctx: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.cycles < 0:

@@ -23,6 +23,7 @@ from repro.sim.kernel import Process, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.fabric import FleetRadioNetwork
+    from repro.obs.tracing import RequestTracer
     from repro.telemetry import Telemetry
 
 
@@ -135,12 +136,24 @@ class RobotTenant:
             payload_bytes=self.payload_bytes,
             reply_bytes=self.reply_bytes,
         )
+        obs = self._obs()
+        if obs is not None:
+            req.ctx = obs.start(
+                "tick", self.name, now, deadline_s=self.spec.deadline_s, seq=self.seq
+            )
+            if req.ctx is not None:
+                # Serialization is modeled as instantaneous; the
+                # zero-width segment keeps the tree's segment set
+                # uniform so the sum still telescopes to the latency.
+                obs.segment(req.ctx, "serialize", now, now, bytes=self.payload_bytes)
         if self.radio is None:
             self.pool.submit(req, self._completed)
             return
-        up = self.radio.uplink_latency(self.name, self.payload_bytes, now)
+        up = self.radio.uplink_latency(
+            self.name, self.payload_bytes, now, ctx=req.ctx, obs=obs
+        )
         if up is None:
-            self._lose(req)
+            self._lose(req, now)
             return
         self.sim.schedule_after(
             up,
@@ -149,35 +162,53 @@ class RobotTenant:
         )
 
     def _completed(self, req: TickRequest, t: float) -> None:
+        obs = self._obs()
         if self.radio is not None:
-            down = self.radio.downlink_latency(self.name, self.reply_bytes, t)
+            down = self.radio.downlink_latency(
+                self.name, self.reply_bytes, t, ctx=req.ctx, obs=obs
+            )
             if down is None:
-                self._lose(req)
+                self._lose(req, t)
                 return
             t = t + down
         latency = t - req.issued_at
         self.served += 1
         self.latencies.append(latency)
         self.completion_times.append(t)
+        missed = latency > req.deadline_s
         tel = self.telemetry
         if tel is not None:
             tel.metrics.histogram(
                 "cloud_tick_latency_seconds",
                 "end-to-end tick latency (issue to command) per tenant",
             ).observe(latency, tenant=self.name)
-            if latency > req.deadline_s:
+            if missed:
                 tel.metrics.counter(
                     "cloud_tick_missed_total",
                     "served ticks that blew their deadline, per tenant",
                 ).inc(tenant=self.name)
+            if tel.slo is not None:
+                tel.slo.observe(self.name, latency, req.deadline_s, t)
+        if obs is not None and req.ctx is not None:
+            # The command is applied the instant it lands (actuation is
+            # not modeled); zero-width bookend mirroring serialize.
+            obs.segment(req.ctx, "actuate", t, t)
+            obs.finish(req.ctx, t, status="miss" if missed else "ok")
 
-    def _lose(self, req: TickRequest) -> None:
+    def _lose(self, req: TickRequest, t: float) -> None:
         self.lost += 1
         if self.telemetry is not None:
             self.telemetry.metrics.counter(
                 "cloud_tick_lost_total",
                 "ticks lost to the radio (either direction), per tenant",
             ).inc(tenant=self.name)
+        obs = self._obs()
+        if obs is not None and req.ctx is not None:
+            obs.finish(req.ctx, t, status="lost")
+
+    def _obs(self) -> "RequestTracer | None":
+        tel = self.telemetry
+        return tel.requests if tel is not None else None
 
     # ------------------------------------------------------------------
     # Verdict

@@ -13,6 +13,7 @@ Collects the four inputs Algorithms 1 and 2 need:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.compute.host import Host
 from repro.core.bottleneck import VDP_NODES
@@ -23,6 +24,9 @@ from repro.network.monitor import (
     RttMonitor,
     SignalDirectionEstimator,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import RequestTracer
 
 #: The callback that constitutes each VDP node's per-tick work; other
 #: callbacks (pose caching, odom updates) are bookkeeping and must not
@@ -86,6 +90,10 @@ class Profiler:
         self.server_host = server_host
         self.vdp_nodes = vdp_nodes
         self.node_profiles: dict[str, NodeProfile] = {}
+        #: Optional per-tick deadline stamped on ``vdp_tick`` request
+        #: traces (set by whoever knows the control rate); ``None``
+        #: leaves the traces deadline-free.
+        self.tick_deadline_s: float | None = None
         self.bandwidth = BandwidthMonitor(bandwidth_window_s, t0=graph.sim.now())
         self.rtt = RttMonitor()
         self.direction = SignalDirectionEstimator(wap_xy)
@@ -187,4 +195,48 @@ class Profiler:
             )
             gauge.set(s.local_s, which="local")
             gauge.set(s.cloud_s, which="cloud")
+            if tel.requests is not None:
+                self._trace_vdp_tick(tel.requests, s)
         return s
+
+    def _trace_vdp_tick(self, requests: "RequestTracer", s: VdpSample) -> None:
+        """Record one ``vdp_tick`` causal tree for this sample.
+
+        The tree lays the makespan estimate out causally — uplink
+        half-RTT, each VDP node's service time in path order, downlink
+        half-RTT — with shared boundaries, so the segment sum equals
+        ``cloud_s`` exactly (the reconciliation invariant the fig13
+        acceptance test asserts).
+        """
+        ctx = requests.start(
+            "vdp_tick",
+            "vdp",
+            s.t,
+            deadline_s=self.tick_deadline_s,
+            any_remote=s.any_remote,
+            local_s=s.local_s,
+        )
+        if ctx is None:
+            return
+        rtt_s = self.rtt.mean() if s.any_remote and len(self.rtt) else 0.0
+        cursor = s.t
+        if rtt_s > 0:
+            requests.segment(ctx, "uplink", cursor, cursor + rtt_s / 2)
+            cursor += rtt_s / 2
+        for name in self.vdp_nodes:
+            prof = self.node_profiles.get(name)
+            if prof is None:
+                continue
+            requests.segment(
+                ctx, "service", cursor, cursor + prof.proc_s,
+                node=name, host=prof.host_name,
+            )
+            cursor += prof.proc_s
+        if rtt_s > 0:
+            requests.segment(ctx, "downlink", cursor, cursor + rtt_s / 2)
+            cursor += rtt_s / 2
+        latency = cursor - s.t
+        missed = (
+            self.tick_deadline_s is not None and latency > self.tick_deadline_s
+        )
+        requests.finish(ctx, cursor, status="miss" if missed else "ok")

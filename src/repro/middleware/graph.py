@@ -186,6 +186,20 @@ class Graph:
                         tel.drops.inc(topic=topic)
                     else:
                         tel.send_latency.observe(latency, topic=topic)
+                if msg.ctx is not None and self.telemetry is not None:
+                    requests = self.telemetry.requests
+                    if requests is not None:
+                        now = self.sim.now()
+                        if latency is None:
+                            requests.instant(
+                                msg.ctx, "transport_lost", now,
+                                topic=topic, dest=sub.host.name,
+                            )
+                        else:
+                            requests.segment(
+                                msg.ctx, "transport", now, now + latency,
+                                topic=topic, src=src_host.name, dest=sub.host.name,
+                            )
                 if latency is None:
                     continue  # dropped
                 if latency <= 0:

@@ -9,11 +9,15 @@ with their cell count. ``size_bytes`` drives both transmission energy
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.world.geometry import Pose2D
 from repro.world.lidar import LidarScan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import TraceContext
 
 
 @dataclass
@@ -21,6 +25,10 @@ class Message:
     """Base class for middleware messages."""
 
     stamp: float = 0.0
+    #: Causal trace context (repro.obs) stamped by the publisher when
+    #: request tracing is enabled; ``None`` otherwise. Transport hops
+    #: record themselves against it in ``Graph._fanout``.
+    ctx: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
     def size_bytes(self) -> int:
         """Serialized size in bytes (protobuf-like estimate)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import zlib
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.sim.rng import seeded_rng
 
@@ -19,6 +20,10 @@ from repro.network.link import WirelessLink
 from repro.network.signal import WapSite
 from repro.network.tcp import ReliableChannel
 from repro.network.udp import UdpChannel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import TraceContext
+    from repro.obs.tracing import RequestTracer
 
 
 class NetworkFabric:
@@ -55,28 +60,43 @@ class NetworkFabric:
     # ------------------------------------------------------------------
     # Transport protocol
     # ------------------------------------------------------------------
-    def send(self, src: Host, dst: Host, n_bytes: int, now: float) -> float | None:
-        """Datagram latency from ``src`` to ``dst``, or ``None`` if lost."""
+    def send(
+        self,
+        src: Host,
+        dst: Host,
+        n_bytes: int,
+        now: float,
+        ctx: "TraceContext | None" = None,
+        obs: "RequestTracer | None" = None,
+    ) -> float | None:
+        """Datagram latency from ``src`` to ``dst``, or ``None`` if lost.
+
+        ``ctx``/``obs`` (request tracing, :mod:`repro.obs`) are handed
+        down to the wireless channel so the packet's fate — air time or
+        cause of death — lands under the caller's segment.
+        """
         if src is dst:
             return 0.0
         if src.on_robot and dst.on_robot:
             return 0.0
         if not src.up or not dst.up:
             # A crashed endpoint neither sends nor receives datagrams.
+            if obs is not None and ctx is not None:
+                obs.instant(ctx, "udp_dropped", now, cause="endpoint_down")
             return None
         if not src.on_robot and not dst.on_robot:
             return self._wired(src.name) + self._wired(dst.name)
         if src.on_robot:
             # Uplink: pay radio energy for anything the driver transmits.
             st = self.link.state()
-            latency = self.uplink.send(n_bytes, now)
+            latency = self.uplink.send(n_bytes, now, ctx=ctx, obs=obs)
             if self.energy_sink is not None and self.uplink.transmitting(st):
                 self.energy_sink(self.link.tx_energy(n_bytes, st))
             if latency is None:
                 return None
             return latency + self._wired(dst.name)
         # Downlink: WAP transmits; robot pays nothing.
-        latency = self.downlink.send(n_bytes, now)
+        latency = self.downlink.send(n_bytes, now, ctx=ctx, obs=obs)
         if latency is None:
             return None
         return latency + self._wired(src.name)
@@ -87,17 +107,27 @@ class NetworkFabric:
         back = self.reliable_send(b, a, 64, now)
         return one_way + back
 
-    def reliable_send(self, src: Host, dst: Host, n_bytes: int, now: float) -> float:
+    def reliable_send(
+        self,
+        src: Host,
+        dst: Host,
+        n_bytes: int,
+        now: float,
+        ctx: "TraceContext | None" = None,
+        obs: "RequestTracer | None" = None,
+    ) -> float:
         """Latency for a retransmitted-until-delivered transfer."""
         if src is dst or (src.on_robot and dst.on_robot):
             return 0.0
         if not src.up or not dst.up:
             # Reliable transfer to/from a dead host: the sender burns
             # its full retransmission budget before giving up.
+            if obs is not None and ctx is not None:
+                obs.instant(ctx, "reliable_gave_up", now, cause="endpoint_down")
             return self.control.rto_s * 64
         if not src.on_robot and not dst.on_robot:
             return self._wired(src.name) + self._wired(dst.name)
-        air = self.control.send(n_bytes, now)  # wireless hop
+        air = self.control.send(n_bytes, now, ctx=ctx, obs=obs)  # wireless hop
         if src.on_robot and self.energy_sink is not None:
             self.energy_sink(self.link.tx_energy(n_bytes))
         other = dst if src.on_robot else src
@@ -200,22 +230,59 @@ class FleetRadioNetwork:
         return tuple(self._links)
 
     def uplink_latency(
-        self, tenant: str, n_bytes: int, now: float
+        self,
+        tenant: str,
+        n_bytes: int,
+        now: float,
+        ctx: "TraceContext | None" = None,
+        obs: "RequestTracer | None" = None,
     ) -> float | None:
-        """Robot -> pool datagram latency, ``None`` when lost."""
-        air = self._uplinks[tenant].send(n_bytes, now)
-        if air is None:
-            return None
-        return air + self.wired_latency_s
+        """Robot -> pool datagram latency, ``None`` when lost.
+
+        With ``ctx``/``obs`` the hop records itself as an ``uplink``
+        segment with nested ``air``/``wired`` sub-attribution; a lost
+        packet leaves a zero-width ``uplink_lost`` marker instead.
+        """
+        return self._hop_latency(
+            self._uplinks[tenant], "uplink", n_bytes, now, ctx, obs
+        )
 
     def downlink_latency(
-        self, tenant: str, n_bytes: int, now: float
+        self,
+        tenant: str,
+        n_bytes: int,
+        now: float,
+        ctx: "TraceContext | None" = None,
+        obs: "RequestTracer | None" = None,
     ) -> float | None:
         """Pool -> robot datagram latency, ``None`` when lost."""
-        air = self._downlinks[tenant].send(n_bytes, now)
+        return self._hop_latency(
+            self._downlinks[tenant], "downlink", n_bytes, now, ctx, obs
+        )
+
+    def _hop_latency(
+        self,
+        channel: UdpChannel,
+        name: str,
+        n_bytes: int,
+        now: float,
+        ctx: "TraceContext | None",
+        obs: "RequestTracer | None",
+    ) -> float | None:
+        air = channel.send(n_bytes, now)
+        traced = obs is not None and ctx is not None
         if air is None:
+            if traced:
+                obs.instant(ctx, f"{name}_lost", now, bytes=n_bytes)
             return None
-        return air + self.wired_latency_s
+        total = air + self.wired_latency_s
+        if traced:
+            # One top-level segment per hop (so tick trees telescope),
+            # air/wired split nested beneath it.
+            seg = obs.segment(ctx, name, now, now + total, bytes=n_bytes)
+            obs.segment(seg, "air", now, now + air)
+            obs.segment(seg, "wired", now + air, now + total)
+        return total
 
     def flush_held(self, now: float) -> int:
         """Drain every tenant's kernel-held packets (link recovery)."""

@@ -8,9 +8,15 @@ to very large latencies rather than silence.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.sim.rng import seeded_rng
 
 from repro.network.link import WirelessLink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import TraceContext
+    from repro.obs.tracing import RequestTracer
 
 
 class ReliableChannel:
@@ -92,15 +98,38 @@ class ReliableChannel:
         u = float(self._jitter_rng.uniform(-self.jitter_frac, self.jitter_frac))
         return backoff * (1.0 + u)
 
-    def send(self, n_bytes: int, now: float) -> float:
-        """Latency to reliably deliver ``n_bytes`` (retries included)."""
+    def send(
+        self,
+        n_bytes: int,
+        now: float,
+        ctx: "TraceContext | None" = None,
+        obs: "RequestTracer | None" = None,
+    ) -> float:
+        """Latency to reliably deliver ``n_bytes`` (retries included).
+
+        ``ctx``/``obs`` (request tracing, :mod:`repro.obs`) record the
+        whole reliable exchange — retry count included — under the
+        caller's segment.
+        """
         total = 0.0
         for attempt in range(self.max_retries + 1):
             st = self.link.state()
             if st.rate_bps > 0 and self.link.delivery_roll(st):
-                return total + self.link.packet_latency(n_bytes, st)
+                latency = total + self.link.packet_latency(n_bytes, st)
+                if obs is not None and ctx is not None:
+                    obs.segment(
+                        ctx, "reliable", now, now + latency,
+                        retries=attempt, bytes=n_bytes,
+                    )
+                return latency
             self.retransmissions += 1
             total += self._jittered(self.backoff_s(attempt))
         # Give up pretending it's fast: report the accumulated backoff
         # plus one nominal transmission at the floor rate.
-        return total + self.rto_s
+        total += self.rto_s
+        if obs is not None and ctx is not None:
+            obs.segment(
+                ctx, "reliable", now, now + total,
+                retries=self.max_retries + 1, gave_up=True, bytes=n_bytes,
+            )
+        return total

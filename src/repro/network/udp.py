@@ -14,10 +14,15 @@ bandwidth + signal direction, not latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.network.link import LinkState, WirelessLink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import TraceContext
+    from repro.obs.tracing import RequestTracer
 
 
 @dataclass
@@ -120,7 +125,13 @@ class UdpChannel:
         """Whether the driver would put a packet on the air right now."""
         return not self.fault_blocked and state.quality >= self.block_quality
 
-    def send(self, n_bytes: int, now: float) -> float | None:
+    def send(
+        self,
+        n_bytes: int,
+        now: float,
+        ctx: "TraceContext | None" = None,
+        obs: "RequestTracer | None" = None,
+    ) -> float | None:
         """Attempt to send ``n_bytes`` at virtual time ``now``.
 
         Returns the one-way latency for a delivered packet, ``None``
@@ -131,19 +142,28 @@ class UdpChannel:
         stats but, having stale payloads, they do not resurrect old
         messages — keep-last-1 consumers only ever want the newest
         datagram.
+
+        ``ctx``/``obs`` (request tracing, :mod:`repro.obs`) attribute
+        this send's fate — an ``air`` interval, or a marker naming why
+        the packet died — under the caller's segment.
         """
         st = self.link.state()
         self.stats.sent += 1
         self.stats.bytes_sent += n_bytes
+        traced = obs is not None and ctx is not None
 
         if not self.transmitting(st):
             # Driver blocks: hold in kernel buffer; discard when full.
             if len(self._kernel_buffer) >= self.kernel_capacity:
                 self.stats.dropped_buffer += 1
+                if traced:
+                    obs.instant(ctx, "udp_dropped", now, cause="buffer_full")
                 return None
             self._kernel_buffer.append((now, n_bytes))
             # The packet *may* eventually go out, but its payload will
             # be stale; treat it as undelivered for freshness purposes.
+            if traced:
+                obs.instant(ctx, "udp_held", now, held=len(self._kernel_buffer))
             return None
 
         # Healthy signal: flush anything the driver was holding first.
@@ -153,19 +173,27 @@ class UdpChannel:
             fate = self.fault.sample()
             if fate == "drop":
                 self.stats.dropped_fault += 1
+                if traced:
+                    obs.instant(ctx, "udp_dropped", now, cause="fault")
                 return None
             if fate == "corrupt":
                 self.stats.corrupted += 1
+                if traced:
+                    obs.instant(ctx, "udp_dropped", now, cause="corrupt")
                 return None
             if fate == "duplicate":
                 self.stats.duplicated += 1
 
         if not self.link.delivery_roll(st):
             self.stats.dropped_air += 1
+            if traced:
+                obs.instant(ctx, "udp_dropped", now, cause="air")
             return None
         latency = self.link.packet_latency(n_bytes, st)
         self._record_delivery(latency, now + latency)
         self.stats.bytes_delivered += n_bytes
+        if traced:
+            obs.segment(ctx, "air", now, now + latency, bytes=n_bytes)
         return latency
 
     def flush(self, now: float) -> int:

@@ -1,0 +1,124 @@
+"""Critical-path analysis over recorded request traces.
+
+Turns a :class:`~repro.obs.tracing.RequestTracer` into the report the
+``repro trace <artifact> --critical-path`` CLI prints: per-kind trace
+counts, where the time went segment-by-segment, and — the point of the
+exercise — each deadline miss attributed to its *dominant* segment, so
+"the fleet missed deadlines" becomes "the misses were queue-wait, not
+radio".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table, format_seconds
+from repro.obs.tracing import RequestTracer, TraceTree
+
+#: Deadline misses listed individually before the report elides.
+_MAX_LISTED_MISSES = 20
+
+
+def _share(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:.0f}%" if whole > 0 else "-"
+
+
+def critical_path_report(requests: RequestTracer) -> str:
+    """Render the critical-path report (a friendly note when empty)."""
+    trees = requests.trees()
+    if not trees:
+        return (
+            "no request traces recorded — nothing crossed an obs-"
+            "instrumented path (tick serving, VDP sampling, 2PC "
+            "migration) in this run"
+        )
+    parts: list[Table] = [_overview_table(trees), _segment_table(trees)]
+    misses = [t for t in trees if t.missed_deadline]
+    if misses:
+        parts.append(_miss_table(misses))
+    rendered = [t.render() for t in parts]
+    if not misses:
+        rendered.append("no deadline misses — every finished trace met its deadline")
+    return "\n\n".join(rendered)
+
+
+def _overview_table(trees: list[TraceTree]) -> Table:
+    t = Table(
+        title="request traces",
+        columns=["kind", "traces", "finished", "misses", "mean latency", "worst"],
+    )
+    kinds: dict[str, list[TraceTree]] = {}
+    for tree in trees:
+        kinds.setdefault(tree.kind, []).append(tree)
+    for kind in sorted(kinds):
+        group = kinds[kind]
+        fin = [x for x in group if x.finished]
+        lats = [x.latency_s for x in fin]
+        t.add_row(
+            kind,
+            len(group),
+            len(fin),
+            sum(1 for x in group if x.missed_deadline),
+            format_seconds(sum(lats) / len(lats)) if lats else "-",
+            format_seconds(max(lats)) if lats else "-",
+        )
+    return t
+
+
+def _segment_table(trees: list[TraceTree]) -> Table:
+    t = Table(
+        title="time by segment (all traces)",
+        columns=["segment", "count", "total", "mean", "share"],
+    )
+    # Top-level segments only: nested sub-attribution (air/wired under
+    # an uplink hop) would double-count its parent's time in the shares.
+    totals: dict[str, list[float]] = {}
+    for tree in trees:
+        for seg in tree.top_segments():
+            entry = totals.setdefault(seg.name, [0.0, 0.0])
+            entry[0] += 1.0
+            entry[1] += seg.duration
+    grand = sum(w for _, w in totals.values())
+    for name in sorted(totals, key=lambda k: totals[k][1], reverse=True):
+        n, w = totals[name]
+        t.add_row(
+            name,
+            int(n),
+            format_seconds(w),
+            format_seconds(w / n) if n else "-",
+            _share(w, grand),
+        )
+    return t
+
+
+def _miss_table(misses: list[TraceTree]) -> Table:
+    t = Table(
+        title="deadline misses by dominant segment",
+        columns=["trace", "kind", "latency", "deadline", "dominant segment", "share"],
+    )
+    by_dominant: dict[str, int] = {}
+    for tree in misses[:_MAX_LISTED_MISSES]:
+        dom = tree.dominant_segment()
+        dom_name, dom_s = dom if dom is not None else ("(no segments)", 0.0)
+        by_dominant[dom_name] = by_dominant.get(dom_name, 0) + 1
+        assert tree.deadline_s is not None
+        t.add_row(
+            f"{tree.name}#{tree.root.trace_id:08x}",
+            tree.kind,
+            format_seconds(tree.latency_s),
+            format_seconds(tree.deadline_s),
+            dom_name,
+            _share(dom_s, tree.segment_sum()),
+        )
+    elided = len(misses) - _MAX_LISTED_MISSES
+    note = ""
+    if elided > 0:
+        note = f"{elided} further misses elided; "
+    tally: dict[str, int] = {}
+    for tree in misses:
+        dom = tree.dominant_segment()
+        name = dom[0] if dom is not None else "(no segments)"
+        tally[name] = tally.get(name, 0) + 1
+    note += "misses by dominant segment: " + ", ".join(
+        f"{k}={tally[k]}" for k in sorted(tally, key=tally.get, reverse=True)  # type: ignore[arg-type]
+    )
+    t.note = note
+    return t

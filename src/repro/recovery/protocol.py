@@ -37,6 +37,7 @@ from repro.recovery.checkpoint import Checkpoint, CheckpointStore
 from repro.recovery.config import RecoveryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import TraceContext
     from repro.telemetry import Telemetry
 
 #: Terminal outcomes recorded in :attr:`TwoPhaseMigrator.history`.
@@ -61,6 +62,8 @@ class MigrationTicket:
     state_bytes: int = 0
     checkpoint: Checkpoint | None = None
     paused_at: float | None = None
+    #: Causal trace context (repro.obs); set when request tracing is on.
+    ctx: "TraceContext | None" = None
 
 
 class TwoPhaseMigrator:
@@ -130,6 +133,16 @@ class TwoPhaseMigrator:
             reason=reason,
             started_t=self.graph.sim.now(),
         )
+        tel = self.telemetry
+        if tel is not None and tel.requests is not None:
+            ticket.ctx = tel.requests.start(
+                "migration",
+                name,
+                ticket.started_t,
+                src=ticket.src.name,
+                dest=dest.name,
+                reason=reason,
+            )
         self.inflight[name] = ticket
         self._prepare(ticket)
         return True
@@ -282,6 +295,7 @@ class TwoPhaseMigrator:
         del self.inflight[ticket.name]
         self.commits += 1
         self.history.append((now, ticket.name, COMMITTED, ticket.dest.name))
+        self._finish_trace(ticket, now, COMMITTED)
         if self.on_commit is not None:
             self.on_commit(ticket.name, ticket.dest.name, pause)
 
@@ -300,6 +314,7 @@ class TwoPhaseMigrator:
         self.aborts += 1
         self.history.append((now, ticket.name, ABORTED, why))
         self._emit(ticket, "abort", 0.0, why=why)
+        self._finish_trace(ticket, now, ABORTED, why=why)
         if self.on_abort is not None:
             self.on_abort(ticket.name, why)
 
@@ -313,11 +328,13 @@ class TwoPhaseMigrator:
             fn()
 
     def _emit(self, ticket: MigrationTicket, phase: str, dur: float, **extra) -> None:
-        if self.telemetry is None:
+        tel = self.telemetry
+        if tel is None:
             return
-        self.telemetry.emit(
+        now = self.graph.sim.now()
+        tel.emit(
             "migration_phase",
-            t=self.graph.sim.now(),
+            t=now,
             track="recovery",
             node=ticket.name,
             phase=phase,
@@ -326,3 +343,20 @@ class TwoPhaseMigrator:
             dur_s=dur,
             **extra,
         )
+        if tel.requests is not None and ticket.ctx is not None:
+            tel.requests.segment(ticket.ctx, phase, now, now + dur, **extra)
+
+    def _finish_trace(
+        self, ticket: MigrationTicket, now: float, status: str, **extra: object
+    ) -> None:
+        tel = self.telemetry
+        if tel is not None and tel.requests is not None and ticket.ctx is not None:
+            tel.requests.finish(
+                ticket.ctx,
+                now,
+                status=status,
+                prepare_attempts=ticket.prepare_attempts,
+                transfer_attempts=ticket.transfer_attempts,
+                commit_attempts=ticket.commit_attempts,
+                **extra,
+            )

@@ -56,6 +56,13 @@ class EventQueue:
         self._dead: set[int] = set()
         self._counter = itertools.count()
         self._live = 0
+        #: Lifetime churn counters (read by the kernel self-profiler):
+        #: total pushes, lazy cancellations, and dead events pruned off
+        #: the heap. Plain ints — they cost one increment each and
+        #: never affect event order.
+        self.pushes = 0
+        self.cancels = 0
+        self.pruned = 0
 
     def __len__(self) -> int:
         return self._live
@@ -82,6 +89,7 @@ class EventQueue:
         )
         heapq.heappush(self._heap, ev)
         self._live += 1
+        self.pushes += 1
         return ev
 
     def cancel(self, event: Event) -> None:
@@ -89,6 +97,7 @@ class EventQueue:
         if event.seq not in self._dead:
             self._dead.add(event.seq)
             self._live -= 1
+            self.cancels += 1
 
     def peek_time(self) -> float | None:
         """Return the fire time of the next live event, or ``None``."""
@@ -114,3 +123,4 @@ class EventQueue:
         while self._heap and self._heap[0].seq in self._dead:
             dead = heapq.heappop(self._heap)
             self._dead.discard(dead.seq)
+            self.pruned += 1

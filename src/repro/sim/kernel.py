@@ -16,6 +16,7 @@ from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profiler import KernelProfiler
     from repro.telemetry import Telemetry
     from repro.telemetry.metrics import Counter as MetricCounter
 
@@ -41,6 +42,13 @@ class Simulator:
     #: internally.
     _default_audit_registry: ClassVar[list[OrderingAuditor] | None] = None
 
+    #: Same idea for the kernel self-profiler: when set (via
+    #: :meth:`install_default_profiling`), every new simulator attaches
+    #: a fresh :class:`~repro.obs.profiler.KernelProfiler` and registers
+    #: it here — how ``--kernel-profile-out`` profiles experiment
+    #: runners that construct simulators internally.
+    _default_profiler_registry: ClassVar["list[KernelProfiler] | None"] = None
+
     def __init__(self, start_time: float = 0.0, audit_ordering: bool = False) -> None:
         self.clock = SimClock(start_time)
         self.queue = EventQueue()
@@ -48,6 +56,10 @@ class Simulator:
         self._processed = 0
         self.telemetry: Telemetry | None = None
         self._tel_events: MetricCounter | None = None  # cached sim_events_total counter
+        #: Opt-in wall-clock self-profiler (repro.obs.KernelProfiler
+        #: installs itself here via ``attach``); ``None`` costs one
+        #: attribute test per event.
+        self.profiler: KernelProfiler | None = None
         self._firing_seq = -1  # seq of the event whose callback is running
         self._in_event = False  # reentrancy guard for run()/step()
         self.auditor: OrderingAuditor | None = None
@@ -57,6 +69,11 @@ class Simulator:
         registry = Simulator._default_audit_registry
         if registry is not None and self.auditor is None:
             registry.append(self.enable_ordering_audit())
+        prof_registry = Simulator._default_profiler_registry
+        if prof_registry is not None:
+            from repro.obs.profiler import KernelProfiler as _KernelProfiler
+
+            prof_registry.append(_KernelProfiler().attach(self))
 
     # ------------------------------------------------------------------
     # Ordering audit
@@ -86,6 +103,26 @@ class Simulator:
     def clear_default_audit(cls) -> None:
         """Stop auditing newly constructed simulators."""
         cls._default_audit_registry = None
+
+    # ------------------------------------------------------------------
+    # Kernel self-profiling
+    # ------------------------------------------------------------------
+    @classmethod
+    def install_default_profiling(cls) -> "list[KernelProfiler]":
+        """Profile every simulator constructed from now on.
+
+        Returns the live registry the profilers accumulate into
+        (aggregate with :func:`repro.obs.profiler.aggregate_profiles`).
+        Pair with :meth:`clear_default_profiling` (try/finally).
+        """
+        registry: "list[KernelProfiler]" = []
+        cls._default_profiler_registry = registry
+        return registry
+
+    @classmethod
+    def clear_default_profiling(cls) -> None:
+        """Stop profiling newly constructed simulators."""
+        cls._default_profiler_registry = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -162,21 +199,44 @@ class Simulator:
             self._last_event = ev
         self._firing_seq = ev.seq
         self._in_event = True
-        try:
-            tel = self.telemetry
-            if tel is None:
-                ev.callback()
-            else:
-                span = tel.tracer.begin(ev.label or "event", track="kernel")
-                try:
+        # The firing body is duplicated across the two arms so the
+        # profiler-off path pays exactly one attribute test per event
+        # (budgeted by benchmarks/test_obs_overhead.py).
+        prof = self.profiler
+        if prof is None:
+            try:
+                tel = self.telemetry
+                if tel is None:
                     ev.callback()
-                finally:
-                    tel.tracer.end(span)
-                if self._tel_events is not None:
-                    self._tel_events.inc()
-        finally:
-            self._in_event = False
-            self._firing_seq = -1
+                else:
+                    span = tel.tracer.begin(ev.label or "event", track="kernel")
+                    try:
+                        ev.callback()
+                    finally:
+                        tel.tracer.end(span)
+                    if self._tel_events is not None:
+                        self._tel_events.inc()
+            finally:
+                self._in_event = False
+                self._firing_seq = -1
+        else:
+            t_fire = prof.clock()
+            try:
+                tel = self.telemetry
+                if tel is None:
+                    ev.callback()
+                else:
+                    span = tel.tracer.begin(ev.label or "event", track="kernel")
+                    try:
+                        ev.callback()
+                    finally:
+                        tel.tracer.end(span)
+                    if self._tel_events is not None:
+                        self._tel_events.inc()
+            finally:
+                self._in_event = False
+                self._firing_seq = -1
+                prof.record(ev, prof.clock() - t_fire)
         self._processed += 1
         return True
 

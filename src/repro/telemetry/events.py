@@ -37,12 +37,22 @@ class EventBus:
     max_events:
         Retention cap; past it new events still reach subscribers but
         are no longer kept in :attr:`events` (``dropped`` counts them).
+    on_first_drop:
+        Called exactly once, when the cap is first exceeded — the
+        :class:`~repro.telemetry.hub.Telemetry` facade wires this to a
+        warn-once counter so a truncated event log is visible in the
+        metrics artifact, not just in this object's state.
     """
 
-    def __init__(self, max_events: int = 200_000) -> None:
+    def __init__(
+        self,
+        max_events: int = 200_000,
+        on_first_drop: Callable[[], None] | None = None,
+    ) -> None:
         self.max_events = max_events
         self.events: list[TelemetryEvent] = []
         self.dropped = 0
+        self.on_first_drop = on_first_drop
         self._subscribers: dict[str, list[Callable[[TelemetryEvent], None]]] = {}
 
     def emit(self, kind: str, t: float, /, **fields: Any) -> TelemetryEvent:
@@ -52,6 +62,8 @@ class EventBus:
             self.events.append(ev)
         else:
             self.dropped += 1
+            if self.dropped == 1 and self.on_first_drop is not None:
+                self.on_first_drop()
         for fn in self._subscribers.get(kind, ()):
             fn(ev)
         for fn in self._subscribers.get("*", ()):

@@ -27,8 +27,8 @@ def validate_chrome_trace(obj: Any) -> list[str]:
     events = obj.get("traceEvents")
     if not isinstance(events, list):
         return ["missing or non-array 'traceEvents'"]
-    if not events:
-        problems.append("'traceEvents' is empty")
+    # An empty traceEvents array is valid — an uninstrumented (or
+    # span-free) run produces exactly that, and Perfetto loads it.
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             problems.append(f"event {i}: not an object")
@@ -117,6 +117,20 @@ def summary_tables(telemetry: Telemetry) -> list[Table]:
                 ev.get("reason", "") or "-",
                 format_seconds(ev.get("pause_s", 0.0)),
             )
+        tables.append(t)
+
+    if telemetry.events.dropped:
+        t = Table(
+            title="event bus retention",
+            columns=["retained", "dropped", "cap"],
+        )
+        t.add_row(
+            len(telemetry.events), telemetry.events.dropped, telemetry.events.max_events
+        )
+        t.note = (
+            "events past the cap reached subscribers but were not retained; "
+            "kind counts below undercount the run"
+        )
         tables.append(t)
 
     energy = snap.get("energy_joules_total")

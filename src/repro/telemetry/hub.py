@@ -19,11 +19,15 @@ from __future__ import annotations
 import json
 from collections.abc import Callable
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.telemetry.events import EventBus, TelemetryEvent
 from repro.telemetry.metrics import Registry
 from repro.telemetry.spans import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.slo import SloMonitor, SloPolicy
+    from repro.obs.tracing import RequestTracer
 
 
 class Telemetry:
@@ -40,8 +44,57 @@ class Telemetry:
     def __init__(self, clock: Callable[[], float] | None = None) -> None:
         self.tracer = Tracer(clock)
         self.metrics = Registry()
-        self.events = EventBus()
+        self.events = EventBus(on_first_drop=self._events_overflowed)
         self._flushers: list[Any] = []  # Process handles from instrument_hosts
+        #: Optional obs handles (repro.obs); ``None`` until enabled.
+        #: Hook sites guard with ``tel.requests is not None`` /
+        #: ``tel.slo is not None`` — the same nullable contract as the
+        #: facade itself, one attribute test deep.
+        self.requests: "RequestTracer | None" = None
+        self.slo: "SloMonitor | None" = None
+
+    # ------------------------------------------------------------------
+    # Observability layer (repro.obs) opt-ins
+    # ------------------------------------------------------------------
+    def enable_obs(self, seed: int = 0, max_traces: int = 100_000) -> "RequestTracer":
+        """Turn on causal request tracing; idempotent.
+
+        Returns the :class:`~repro.obs.tracing.RequestTracer` hook
+        sites will record into. Segments mirror onto :attr:`tracer`,
+        so the Chrome trace artifact gains ``req:<name>`` tracks.
+        """
+        if self.requests is None:
+            from repro.obs.tracing import RequestTracer
+
+            self.requests = RequestTracer(
+                tracer=self.tracer, seed=seed, max_traces=max_traces
+            )
+        return self.requests
+
+    def enable_slo(self, policy: "SloPolicy | None" = None) -> "SloMonitor":
+        """Turn on SLO monitoring; idempotent.
+
+        Returns the :class:`~repro.obs.slo.SloMonitor` fed by the tick
+        completion path; breaches emit ``slo_breach`` on :attr:`events`.
+        """
+        if self.slo is None:
+            from repro.obs.slo import SloMonitor, SloPolicy
+
+            self.slo = SloMonitor(self, policy or SloPolicy())
+        return self.slo
+
+    def _events_overflowed(self) -> None:
+        """Warn-once hook for the event bus hitting its retention cap."""
+        self.metrics.counter(
+            "telemetry_events_dropped",
+            "event-bus retention cap hit; later events not retained",
+        ).inc()
+        self.tracer.instant(
+            "event_bus_overflow",
+            track="events",
+            cat="telemetry",
+            max_events=self.events.max_events,
+        )
 
     # ------------------------------------------------------------------
     # Clock + events
@@ -119,11 +172,30 @@ class Telemetry:
             + (f" ({self.tracer.dropped} dropped)" if self.tracer.dropped else "")
         )
         kinds = self.events.kinds()
+        dropped_note = (
+            f" [{self.events.dropped} dropped past the "
+            f"{self.events.max_events}-event retention cap]"
+            if self.events.dropped
+            else ""
+        )
         if kinds:
             ev = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
-            lines.append(f"events: {len(self.events)} ({ev})")
+            lines.append(f"events: {len(self.events)} ({ev}){dropped_note}")
         else:
-            lines.append("events: 0")
+            lines.append(f"events: 0{dropped_note}")
+        if self.requests is not None:
+            n_fin = len(self.requests.finished())
+            n_miss = len(self.requests.misses())
+            lines.append(
+                f"request traces: {len(self.requests)} "
+                f"({n_fin} finished, {n_miss} deadline misses"
+                + (
+                    f", {self.requests.dropped} dropped"
+                    if self.requests.dropped
+                    else ""
+                )
+                + ")"
+            )
         lines.append("")
         lines.append(self.metrics.render_text().rstrip())
         return "\n".join(lines) + "\n"

@@ -68,8 +68,12 @@ class _Instrument:
         if child is None:
             if len(self._children) >= self.max_label_sets:
                 raise LabelCardinalityError(
-                    f"{self.kind} {self.name!r} exceeded {self.max_label_sets} "
-                    f"label sets (offending labels: {labels!r})"
+                    f"{self.kind} {self.name!r}: refusing new label set "
+                    f"{key or '(unlabelled)'!r} — already tracking "
+                    f"{len(self._children)} label sets (budget "
+                    f"{self.max_label_sets}); an unbounded label value "
+                    f"(an id, a sequence number, a timestamp) is the "
+                    f"usual culprit"
                 )
             child = factory()
             self._children[key] = child

@@ -159,3 +159,49 @@ class TestCli:
         for name, (runner, desc) in ARTIFACTS.items():
             assert desc
             assert callable(runner)
+
+    def test_trace_without_artifact_errors(self, capsys):
+        assert cli_main(["trace"]) == 2
+
+    def test_critical_path_with_no_traces_exits_cleanly(self, capsys):
+        # table3 never touches an obs-instrumented path; the report
+        # must say so and exit 0, not stack-trace on an empty tracer
+        assert cli_main(["table3", "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "no request traces recorded" in out
+
+    def test_critical_path_report_on_instrumented_run(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert cli_main(
+            ["fig9", "--critical-path", "--trace-out", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "######## critical path ########" in out
+        assert "vdp_tick" in out
+        assert "time by segment" in out
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        obj = json.loads(trace.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert any(e.get("cat") == "request" for e in obj["traceEvents"])
+
+    def test_kernel_profile_out(self, capsys, tmp_path):
+        prof = tmp_path / "prof.json"
+        # --trace-out attaches telemetry, which makes fig9 run its
+        # reference DES mission — the thing the profiler attributes
+        assert cli_main(
+            [
+                "fig9",
+                "--trace-out", str(tmp_path / "t.json"),
+                "--kernel-profile-out", str(prof),
+            ]
+        ) == 0
+        import json
+
+        data = json.loads(prof.read_text())
+        assert data["simulators"] >= 1
+        assert data["events"] > 0
+        assert data["labels"]
+        assert "kernel profile written" in capsys.readouterr().out

@@ -95,6 +95,13 @@ class TestTracer:
         assert validate_chrome_trace({}) != []
         assert validate_chrome_trace({"traceEvents": [{"ph": "Z"}]}) != []
 
+    def test_validate_accepts_empty_trace(self):
+        # an uninstrumented run writes {"traceEvents": []}; that must
+        # validate (Perfetto loads it) so `repro trace` exits cleanly
+        assert validate_chrome_trace({"traceEvents": []}) == []
+        tr = Tracer(clock=lambda: 0.0)
+        assert validate_chrome_trace(json.loads(json.dumps(tr.to_chrome()))) == []
+
     def test_jsonl_export(self):
         tr = Tracer(clock=lambda: 0.0)
         tr.complete("a", ts=2.0, dur=1.0)
@@ -167,6 +174,24 @@ class TestMetrics:
         c.inc(id="0")
         assert c.value(id="0") == 2
 
+    def test_label_cardinality_error_names_the_culprit(self):
+        r = Registry()
+        c = r.counter("cloud_tick_latency", max_label_sets=2)
+        c.inc(tenant="r0")
+        c.inc(tenant="r1")
+        with pytest.raises(LabelCardinalityError) as exc:
+            c.inc(tenant="r2", seq="99")
+        msg = str(exc.value)
+        # the metric, the offending label set and the budget all appear
+        assert "'cloud_tick_latency'" in msg
+        assert "seq=99,tenant=r2" in msg
+        assert "budget 2" in msg
+        # unlabelled offenders are spelled out, not shown as ''
+        g = r.gauge("depth", max_label_sets=1)
+        g.set(1.0, worker="w0")
+        with pytest.raises(LabelCardinalityError, match=r"\(unlabelled\)"):
+            g.set(2.0)
+
     def test_registry_get_or_create_and_kind_clash(self):
         r = Registry()
         assert r.counter("x") is r.counter("x")
@@ -209,6 +234,30 @@ class TestEventBus:
             bus.emit("x", float(i))
         assert len(bus) == 2
         assert bus.dropped == 2
+
+    def test_first_drop_hook_fires_exactly_once(self):
+        fired = []
+        bus = EventBus(max_events=1, on_first_drop=lambda: fired.append(1))
+        bus.emit("x", 0.0)
+        assert not fired
+        bus.emit("x", 1.0)
+        bus.emit("x", 2.0)
+        assert fired == [1]
+
+    def test_overflow_surfaces_in_report_and_counter(self):
+        # regression: events dropped past the retention cap used to
+        # vanish silently — the report must call the undercount out
+        tel = Telemetry()
+        tel.events.max_events = 3
+        for i in range(5):
+            tel.emit("tick_done", t=float(i), trace=False)
+        assert tel.events.dropped == 2
+        # warn-once: the counter records the overflow, not every drop
+        assert tel.metrics.get("telemetry_events_dropped").total() == 1
+        report = render_report(tel)
+        assert "event bus retention" in report
+        assert "dropped" in report
+        assert "[2 dropped past the 3-event retention cap]" in report
 
 
 class TestWiring:
@@ -281,6 +330,78 @@ class TestWiring:
         instrument_workload(tel, sim, Graph(sim), ())
         sim.run(until=4.2)
         assert tel.now() == sim.now() == 4.2
+
+
+class TestInstrumentHelpers:
+    """Every instrument_* helper: populated hub vs no telemetry at all."""
+
+    def _pool(self, sim, telemetry=None):
+        from repro.cloud import WorkerPool, make_balancer, make_scheduler
+        from repro.compute import EDGE_GATEWAY, Host
+
+        return WorkerPool(
+            sim,
+            [Host("cloud-vm0", EDGE_GATEWAY)],
+            make_scheduler("fifo"),
+            make_balancer("round-robin"),
+            telemetry=telemetry,
+        )
+
+    def test_instrument_simulator_and_graph(self):
+        from repro.middleware.graph import Graph
+        from repro.telemetry.instrument import instrument_graph, instrument_simulator
+
+        sim = Simulator()
+        tel = Telemetry(clock=sim.now)
+        graph = Graph(sim)
+        instrument_simulator(sim, tel)
+        instrument_graph(graph, tel)
+        assert sim.telemetry is tel and graph.telemetry is tel
+        sim.schedule_at(0.5, lambda: None, label="probe")
+        sim.run()
+        assert tel.metrics.get("sim_events_total").total() >= 1
+
+    def test_instrument_hosts_flushes_gauges(self):
+        from repro.compute import EDGE_GATEWAY, Host
+        from repro.telemetry.instrument import instrument_hosts
+
+        sim = Simulator()
+        tel = Telemetry(clock=sim.now)
+        host = Host("gw", EDGE_GATEWAY)
+        instrument_hosts(tel, sim, [host])
+        sim.run(until=2.5)
+        tel.flush_now()
+        assert tel.metrics.get("energy_joules_total").value(
+            host="gw", kind="idle"
+        ) > 0
+
+    def test_instrument_pool_samples_occupancy(self):
+        from repro.telemetry.instrument import instrument_pool
+
+        sim = Simulator()
+        tel = Telemetry(clock=sim.now)
+        pool = self._pool(sim, telemetry=tel)
+        instrument_pool(tel, pool)
+        sim.run(until=1.5)
+        tel.flush_now()
+        occ = tel.metrics.get("cloud_host_occupancy")
+        assert occ is not None and "worker=cloud-vm0" in occ.label_sets()
+
+    def test_pool_without_telemetry_runs_clean(self):
+        from repro.cloud import TickRequest
+
+        sim = Simulator()
+        pool = self._pool(sim, telemetry=None)
+        done = []
+        pool.submit(
+            TickRequest(
+                tenant="r0", seq=0, cycles=1e8, threads=4,
+                deadline_s=0.5, issued_at=0.0,
+            ),
+            lambda r, t: done.append(t),
+        )
+        sim.run(until=2.0)
+        assert done  # no hooks, no crashes, request served
 
 
 class TestEndToEnd:
