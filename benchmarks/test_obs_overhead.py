@@ -2,15 +2,15 @@
 
 The ``repro.obs`` layer adds two kinds of cost to a run:
 
-* **disabled** — the guard itself: the single ``prof = self.profiler``
-  attribute test in ``Simulator.step``, paid on *every* fired event of
-  *every* run, instrumented or not (the step body is duplicated across
-  the two arms precisely so this is the whole disabled cost).
-  ``kernel_guard_overhead`` measures it by stepping the same
+* **disabled** — the guard itself: the ``telemetry``/``profiler``/
+  ``auditor`` ``is None`` tests that gate ``Simulator.run``'s inline
+  fast path, paid on *every* fired event of *every* run, instrumented
+  or not (the fast path exists precisely so this is the whole disabled
+  cost). ``kernel_guard_overhead`` measures it by draining the same
   self-rescheduling event chain — the minimal workload a real kernel
   ever runs, one pop + one push per event — through the real kernel
-  (profiler detached) and through a replica whose ``step`` is the
-  pre-obs body with the profiler branch deleted. Budget: **3 %**.
+  (profiler detached) and through a replica whose drain loop has the
+  guards deleted. Budget: **3 %**.
 * **enabled** — the tracing work. ``obs_enabled_overhead`` runs the
   instrumented Fig. 9 artifact (model sweep + traced reference
   mission, the same workload PR 1's telemetry benchmark uses) twice
@@ -66,44 +66,35 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
 
 
 class _PreObsSimulator(Simulator):
-    """The kernel exactly as it stepped before the profiler hook."""
+    """The kernel's drain loop with every instrumentation guard deleted."""
 
-    def step(self) -> bool:  # replica: current body minus the prof branch
-        if self._in_event:
-            raise RuntimeError("reentrant step")
-        if not self.queue:
-            return False
-        ev = self.queue.pop()
-        self.clock.advance_to(ev.time)
-        auditor = self.auditor
-        if auditor is not None:
-            last = self._last_event
-            if (
-                last is not None
-                and ev.time == last.time  # lint: ok(SIM002): replica of kernel tie check
-                and ev.parent != last.seq
-            ):
-                auditor.observe(last, ev)
-            self._last_event = ev
-        self._firing_seq = ev.seq
-        self._in_event = True
-        try:
-            tel = self.telemetry
-            if tel is None:
+    def run(  # replica: run()'s fast path minus the obs guards
+        self, until: float | None = None, max_events: int | None = None
+    ) -> float:
+        self._stopped = False
+        limit = None if max_events is None else self._processed + max_events
+        clock = self.clock
+        pop_due = self.queue.pop_due
+        while not self._stopped:
+            if limit is not None and self._processed >= limit:
+                break
+            ev = pop_due(until)
+            if ev is None:
+                break
+            t = ev.time
+            if t > clock._now:
+                clock._now = t
+            self._firing_seq = ev.seq
+            self._in_event = True
+            try:
                 ev.callback()
-            else:
-                span = tel.tracer.begin(ev.label or "event", track="kernel")
-                try:
-                    ev.callback()
-                finally:
-                    tel.tracer.end(span)
-                if self._tel_events is not None:
-                    self._tel_events.inc()
-        finally:
-            self._in_event = False
-            self._firing_seq = -1
-        self._processed += 1
-        return True
+            finally:
+                self._in_event = False
+                self._firing_seq = -1
+            self._processed += 1
+        if until is not None and until > clock._now:
+            clock.advance_to(until)
+        return clock._now
 
 
 def _churn(sim_cls) -> None:

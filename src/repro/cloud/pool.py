@@ -237,7 +237,7 @@ class PoolWorker:
         self._active.append(job)
         self._ps_reschedule(now)
 
-    def _ps_reschedule(self, now: float) -> None:
+    def _ps_reschedule(self, now: float, spent: Event | None = None) -> None:
         if self._ps_event is not None:
             self.sim.cancel(self._ps_event)
             self._ps_event = None
@@ -245,14 +245,19 @@ class PoolWorker:
             return
         rate = self._ps_rate()
         soonest = min(j.remaining_s for j in self._active)
-        self._ps_event = self.sim.schedule_after(
-            max(0.0, soonest / rate),
-            self._ps_complete,
-            label=f"pool:{self.host.name}:share",
-        )
+        delay = max(0.0, soonest / rate)
+        if spent is not None:
+            # Share-tick fast path: recycle the timer that just fired
+            # instead of allocating a fresh event per PS re-plan.
+            self._ps_event = self.sim.reschedule_after(spent, delay)
+        else:
+            self._ps_event = self.sim.schedule_after(
+                delay, self._ps_complete, label=f"pool:{self.host.name}:share"
+            )
 
     def _ps_complete(self) -> None:
         now = self.sim.now()
+        spent = self._ps_event  # the share timer firing right now
         self._ps_event = None
         self._ps_advance(now)
         done = [j for j in self._active if j.remaining_s <= _PS_EPS]
@@ -267,7 +272,7 @@ class PoolWorker:
             )
             self.served += 1
             job.on_complete(job.req, now)
-        self._ps_reschedule(now)
+        self._ps_reschedule(now, spent=spent)
 
 
 class WorkerPool:

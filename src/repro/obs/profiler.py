@@ -7,8 +7,8 @@ run says "X ms in ``net:scan`` deliveries, Y ms in ``pool:...``
 completions" without touching any scheduling site. On top of the
 per-label attribution the profiler counts the kernel's own churn:
 
-* heap traffic (pushes, lazy-cancellations, dead-event prunes) from
-  the :class:`~repro.sim.events.EventQueue` counters;
+* scheduler traffic (pushes, lazy-cancellations, dead-entry prunes)
+  from the :class:`~repro.sim.events.EventQueue` counters;
 * same-time ties — events firing at an identical virtual time, the
   population the ordering auditor worries about and a tie-break
   optimization would target;
@@ -34,7 +34,6 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.events import Event
     from repro.sim.kernel import Simulator
 
 
@@ -109,9 +108,17 @@ class KernelProfiler:
     # ------------------------------------------------------------------
     # The hot-path hook (called by Simulator.step)
     # ------------------------------------------------------------------
-    def record(self, ev: "Event", wall_s: float) -> None:
-        """Attribute one fired event's wall time."""
-        label = ev.label or "(unlabelled)"
+    def record(
+        self, label: str, t_event: float, seq: int, parent: int, wall_s: float
+    ) -> None:
+        """Attribute one fired event's wall time.
+
+        Takes scalars, not the :class:`~repro.sim.events.Event` handle:
+        under slot reuse the callback may have recycled the event by
+        the time the kernel records its timing, so the kernel snapshots
+        ``label``/``time``/``seq``/``parent`` before firing.
+        """
+        label = label or "(unlabelled)"
         stat = self.labels.get(label)
         if stat is None:
             stat = self.labels[label] = _LabelStat()
@@ -119,14 +126,14 @@ class KernelProfiler:
         stat.wall_s += wall_s
         self.events += 1
         self.wall_s += wall_s
-        if ev.time == self._last_time:  # lint: ok(SIM002): tie counting is the point
+        if t_event == self._last_time:  # lint: ok(SIM002): tie counting is the point
             self.ties += 1
-        self._last_time = ev.time
+        self._last_time = t_event
         if not self.track_stacks:
             return
         if len(self._parents) < self.max_stack_entries:
-            self._parents[ev.seq] = (label, ev.parent)
-        stack = self._stack_of(label, ev.parent)
+            self._parents[seq] = (label, parent)
+        stack = self._stack_of(label, parent)
         entry = self.stacks.get(stack)
         if entry is None:
             self.stacks[stack] = [1, wall_s]
@@ -150,7 +157,7 @@ class KernelProfiler:
     # Export
     # ------------------------------------------------------------------
     def queue_counters(self) -> dict[str, int]:
-        """Heap churn since attach: pushes, cancels, dead prunes."""
+        """Scheduler churn since attach: pushes, cancels, dead prunes."""
         if self._sim is None:
             return {"pushes": 0, "cancels": 0, "pruned": 0}
         q = self._sim.queue

@@ -37,11 +37,24 @@ fleet-wide for code that constructs simulators internally::
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import Any, Protocol
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.events import Event
+
+class FiredEventView(Protocol):
+    """What the auditor needs from a fired event.
+
+    Structural on purpose: under slot reuse a periodic callback may
+    mutate its own :class:`~repro.sim.events.Event` in place, so the
+    kernel hands the auditor immutable scalar snapshots rather than
+    live handles. Any object carrying these attributes qualifies.
+    """
+
+    time: float
+    seq: int
+    label: str
+    callback: Callable[[], Any]
 
 
 @dataclass(frozen=True)
@@ -83,7 +96,7 @@ class OrderingAuditor:
         self.ambiguities: list[TiebreakAmbiguity] = []
         self._canonical: dict[frozenset[str], tuple[str, str]] = {}
 
-    def observe(self, first: Event, second: Event) -> None:
+    def observe(self, first: FiredEventView, second: FiredEventView) -> None:
         """Record one concurrent same-time pop pair."""
         self.tie_count += 1
         a, b = first.label, second.label

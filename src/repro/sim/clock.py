@@ -12,6 +12,9 @@ class SimClock:
     """
 
     def __init__(self, start: float = 0.0) -> None:
+        # The kernel's drain loop reads (and, on its fast path, writes)
+        # ``_now`` directly after its own monotonicity check — one
+        # attribute access per event instead of a call frame.
         self._now = float(start)
 
     def now(self) -> float:

@@ -4,6 +4,18 @@ The :class:`Simulator` owns the clock and the event queue. Components
 schedule callbacks at absolute or relative virtual times; :meth:`run`
 drains the queue in time order. A :class:`Process` is a light wrapper
 for periodic activities (sensor polling, control loops, monitors).
+
+The drain loop is the hottest code in the repository — every simulated
+message, tick and timer passes through it — so :meth:`Simulator.run`
+carries an inlined fast path for the common configuration (no
+telemetry, no profiler, no auditor): the queue head is resolved once
+per event (dead entries are skipped exactly once, not re-pruned by
+``peek``/``pop`` pairs), same-time events are fired as a batch under a
+single clock advance, and periodic :class:`Process` ticks re-arm by
+recycling their fired event through
+:meth:`~repro.sim.events._EventQueueBase.repush` instead of paying an
+allocation plus cancel churn per period. See ``docs/kernel.md`` for
+the scheduler data structure and the event lifecycle contract.
 """
 
 from __future__ import annotations
@@ -13,12 +25,31 @@ from typing import TYPE_CHECKING, Any, ClassVar
 
 from repro.sim.audit import OrderingAuditor
 from repro.sim.clock import SimClock
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import FIRED, Event, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.profiler import KernelProfiler
     from repro.telemetry import Telemetry
     from repro.telemetry.metrics import Counter as MetricCounter
+
+
+class _FiredRef:
+    """Scalar snapshot of a fired event, taken before its callback runs.
+
+    The ordering auditor compares consecutive fired events, but a
+    periodic callback may recycle its own event object (slot reuse),
+    mutating ``time``/``seq`` in place — so the kernel hands the
+    auditor an immutable snapshot instead of the live handle.
+    """
+
+    __slots__ = ("time", "seq", "label", "callback", "parent")
+
+    def __init__(self, ev: Event) -> None:
+        self.time = ev.time
+        self.seq = ev.seq
+        self.label = ev.label
+        self.callback = ev.callback
+        self.parent = ev.parent
 
 
 class Simulator:
@@ -49,8 +80,14 @@ class Simulator:
     #: runners that construct simulators internally.
     _default_profiler_registry: ClassVar["list[KernelProfiler] | None"] = None
 
+    #: Current virtual time in seconds. Bound directly to the clock's
+    #: ``now`` in ``__init__`` so the single hottest query in the
+    #: repository costs one call frame instead of two.
+    now: Callable[[], float]
+
     def __init__(self, start_time: float = 0.0, audit_ordering: bool = False) -> None:
         self.clock = SimClock(start_time)
+        self.now = self.clock.now
         self.queue = EventQueue()
         self._stopped = False
         self._processed = 0
@@ -63,7 +100,7 @@ class Simulator:
         self._firing_seq = -1  # seq of the event whose callback is running
         self._in_event = False  # reentrancy guard for run()/step()
         self.auditor: OrderingAuditor | None = None
-        self._last_event: Event | None = None
+        self._last_fired: _FiredRef | None = None
         if audit_ordering:
             self.enable_ordering_audit()
         registry = Simulator._default_audit_registry
@@ -127,16 +164,12 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self.clock.now()
-
     def schedule_at(self, t: float, callback: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``callback`` at absolute virtual time ``t``.
 
         ``t`` earlier than now raises ``ValueError``.
         """
-        if t < self.now():
+        if t < self.clock._now:
             raise ValueError(f"cannot schedule in the past: {t} < {self.now()}")
         return self.queue.push(t, callback, label, parent=self._firing_seq)
 
@@ -144,10 +177,43 @@ class Simulator:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.queue.push(self.now() + delay, callback, label, parent=self._firing_seq)
+        return self.queue.push(
+            self.clock._now + delay, callback, label, parent=self._firing_seq
+        )
+
+    def reschedule_after(self, event: Event, delay: float) -> Event:
+        """Re-arm a fired event ``delay`` seconds from now (slot reuse).
+
+        The periodic-tick fast path: when ``event`` has fired on this
+        simulator, its slot is recycled with a fresh sequence number —
+        no allocation, no cancel churn — producing the identical
+        ``(time, seq)`` order a fresh :meth:`schedule_after` would.
+        Any other lifecycle state falls back to a plain push of the
+        event's callback, so callers never have to special-case
+        ``fire_now``/``set_period`` interleavings.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        queue = self.queue
+        if event.state == FIRED and event.owner is queue:
+            return queue.repush(
+                event, self.clock._now + delay, parent=self._firing_seq
+            )
+        return queue.push(
+            self.clock._now + delay, event.callback, event.label, parent=self._firing_seq
+        )
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
+        """Cancel a previously scheduled event.
+
+        Safe in every lifecycle state — cancelling an event that has
+        already fired (or was already cancelled) is a no-op. Passing
+        an event that belongs to a *different* simulator's queue
+        raises ``ValueError``: sequence numbers are namespaced per
+        queue, so honouring a foreign handle could corrupt accounting
+        or (before the lifecycle states existed) kill an unrelated
+        event.
+        """
         self.queue.cancel(event)
 
     def every(
@@ -187,17 +253,28 @@ class Simulator:
             return False
         ev = self.queue.pop()
         self.clock.advance_to(ev.time)
+        self._fire(ev)
+        return True
+
+    def _fire(self, ev: Event) -> None:
+        """Fire one popped event with full instrumentation.
+
+        Snapshot scalars (time/seq/parent) are taken *before* the
+        callback runs: a periodic callback may recycle ``ev`` through
+        :meth:`reschedule_after`, mutating the handle in place.
+        """
         auditor = self.auditor
         if auditor is not None:
-            last = self._last_event
+            last = self._last_fired
             if (
                 last is not None
                 and ev.time == last.time  # lint: ok(SIM002): exact tie detection is the point
                 and ev.parent != last.seq
             ):
                 auditor.observe(last, ev)
-            self._last_event = ev
-        self._firing_seq = ev.seq
+            self._last_fired = _FiredRef(ev)
+        seq = ev.seq
+        self._firing_seq = seq
         self._in_event = True
         # The firing body is duplicated across the two arms so the
         # profiler-off path pays exactly one attribute test per event
@@ -220,13 +297,16 @@ class Simulator:
                 self._in_event = False
                 self._firing_seq = -1
         else:
+            label = ev.label
+            t_event = ev.time
+            parent = ev.parent
             t_fire = prof.clock()
             try:
                 tel = self.telemetry
                 if tel is None:
                     ev.callback()
                 else:
-                    span = tel.tracer.begin(ev.label or "event", track="kernel")
+                    span = tel.tracer.begin(label or "event", track="kernel")
                     try:
                         ev.callback()
                     finally:
@@ -236,9 +316,8 @@ class Simulator:
             finally:
                 self._in_event = False
                 self._firing_seq = -1
-                prof.record(ev, prof.clock() - t_fire)
+                prof.record(label, t_event, seq, parent, prof.clock() - t_fire)
         self._processed += 1
-        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Drain events until the queue empties, ``until`` is reached,
@@ -259,17 +338,43 @@ class Simulator:
                 "schedule follow-up events instead"
             )
         self._stopped = False
-        start = self._processed
-        while self.queue and not self._stopped:
-            t_next = self.queue.peek_time()
-            if until is not None and t_next is not None and t_next > until:
+        limit = None if max_events is None else self._processed + max_events
+        clock = self.clock
+        pop_due = self.queue.pop_due
+        while not self._stopped:
+            if limit is not None and self._processed >= limit:
                 break
-            if max_events is not None and self._processed - start >= max_events:
+            ev = pop_due(until)
+            if ev is None:
                 break
-            self.step()
-        if until is not None and until > self.now():
-            self.clock.advance_to(until)
-        return self.now()
+            t = ev.time
+            if (
+                self.telemetry is None
+                and self.profiler is None
+                and self.auditor is None
+            ):
+                # Inlined fast path: ``pop_due`` resolves the head once
+                # (no ``peek``/``pop`` double scan), the clock only
+                # advances on a time change (same-time events fire as
+                # one batch, and ``t > _now`` makes a plain store
+                # safe), and the instrumentation branches of
+                # :meth:`_fire` are skipped wholesale.
+                if t > clock._now:
+                    clock._now = t
+                self._firing_seq = ev.seq
+                self._in_event = True
+                try:
+                    ev.callback()
+                finally:
+                    self._in_event = False
+                    self._firing_seq = -1
+                self._processed += 1
+            else:
+                clock.advance_to(t)
+                self._fire(ev)
+        if until is not None and until > clock._now:
+            clock.advance_to(until)
+        return clock._now
 
     def stop(self) -> None:
         """Request :meth:`run` to return after the current event."""
@@ -344,9 +449,14 @@ class Process:
     def _fire(self) -> None:
         if not self._running:
             return
+        # Detach the handle of the firing event so stop()/set_period()
+        # from inside the callback see no pending firing; keep it for
+        # the slot-reuse re-arm below (fire_now arrives with the
+        # pending event already cancelled, so ``spent`` is None there).
+        spent = self._event
         self._event = None
         self.fire_count += 1
-        self._anchor = self.sim.now()
+        self._anchor = self.sim.clock._now
         try:
             self.callback()
         except Exception as exc:
@@ -354,7 +464,12 @@ class Process:
             if self.on_error == "raise":
                 raise
         if self._running and self._event is None:
-            self._event = self.sim.schedule_after(self.period, self._fire, label=self.label)
+            if spent is not None:
+                self._event = self.sim.reschedule_after(spent, self.period)
+            else:
+                self._event = self.sim.schedule_after(
+                    self.period, self._fire, label=self.label
+                )
 
     def _contain(self, exc: Exception) -> None:
         """Record a callback error and apply the on-error policy."""

@@ -392,3 +392,230 @@ class TestRng:
     def test_split_negative_raises(self):
         with pytest.raises(ValueError):
             split_rng(seeded_rng(0), -1)
+
+
+class TestEventLifecycle:
+    """The PENDING -> FIRED / CANCELLED contract added by the calendar
+    overhaul: cancellation is safe in every state, recycling is only
+    legal for fired events, and handles are namespaced per queue."""
+
+    def test_cancel_after_fire_is_noop(self):
+        # Regression (headline bugfix): the old queue decremented its
+        # live count and parked the seq in `_dead` forever when a
+        # handle was cancelled after its event had already fired.
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        fired = q.pop()
+        assert fired is ev and ev.fired
+        q.cancel(ev)  # must be a safe no-op
+        assert ev.fired and not ev.cancelled
+        assert len(q) == 1
+        assert q.cancels == 0
+        assert q.pop().time == 2.0
+        assert len(q) == 0
+
+    def test_cancel_after_fire_corrupts_the_legacy_queue(self):
+        # The same sequence on the frozen pre-overhaul queue shows the
+        # bug this PR fixes: the live count underflows by one, so the
+        # queue claims to be empty while an event is still scheduled.
+        from benchmarks._legacy_kernel import LegacyEventQueue
+
+        legacy = LegacyEventQueue()
+        ev = legacy.push(1.0, lambda: None)
+        legacy.push(2.0, lambda: None)
+        legacy.pop()
+        legacy.cancel(ev)  # accounting corruption on the old queue
+        assert len(legacy) == 0  # WRONG: the t=2.0 event is still live
+        new = EventQueue()
+        ev = new.push(1.0, lambda: None)
+        new.push(2.0, lambda: None)
+        new.pop()
+        new.cancel(ev)
+        assert len(new) == 1  # fixed queue keeps truthful accounting
+
+    def test_cancel_then_pop_to_exhaustion(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(10)]
+        for ev in handles[::2]:
+            q.cancel(ev)
+        times = []
+        while q:
+            times.append(q.pop().time)
+        assert times == [1.0, 3.0, 5.0, 7.0, 9.0]
+        with pytest.raises(IndexError):
+            q.pop()
+        # cancelling any handle of the exhausted queue stays a no-op
+        for ev in handles:
+            q.cancel(ev)
+        assert len(q) == 0 and q.peek_time() is None
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert q.cancels == 1 and len(q) == 0
+
+    def test_cancel_foreign_event_rejected(self):
+        q1, q2 = EventQueue(), EventQueue()
+        ev = q1.push(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            q2.cancel(ev)
+        assert ev.pending and len(q1) == 1  # untouched
+
+    def test_simulator_cancel_rejects_foreign_event(self):
+        # Regression: Simulator.cancel used to forward any Event handle
+        # to its queue, silently corrupting accounting when the handle
+        # came from a different simulator.
+        sim1, sim2 = Simulator(), Simulator()
+        ev = sim1.schedule_at(1.0, lambda: None)
+        sim2.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim2.cancel(ev)
+        sim1.cancel(ev)  # the owner can still cancel it
+        assert ev.cancelled
+
+    def test_repush_requires_fired_state(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            q.repush(ev, 2.0)  # still pending
+        q.cancel(ev)
+        with pytest.raises(ValueError):
+            q.repush(ev, 2.0)  # cancelled
+        ev2 = q.push(1.0, lambda: None)
+        fired = q.pop()
+        assert fired is ev2
+        back = q.repush(ev2, 5.0)
+        assert back is ev2 and ev2.pending and ev2.time == 5.0
+
+    def test_repush_draws_a_fresh_seq_like_push(self):
+        # Slot reuse must not perturb the (time, seq) tie order: a
+        # repush consumes exactly one counter draw, like a fresh push.
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        q.pop()
+        q.repush(a, 2.0)
+        b = q.push(2.0, lambda: None)
+        assert b.seq == a.seq + 1
+        assert q.pop() is a  # same time: recycled slot kept FIFO order
+        assert q.pop() is b
+
+    def test_repush_foreign_event_rejected(self):
+        q1, q2 = EventQueue(), EventQueue()
+        ev = q1.push(1.0, lambda: None)
+        q1.pop()
+        with pytest.raises(ValueError):
+            q2.repush(ev, 2.0)
+
+    def test_queue_depth_stays_truthful_under_churn(self):
+        sim = Simulator()
+        watchdog = []
+
+        def tick():
+            if watchdog:
+                sim.cancel(watchdog.pop())
+            watchdog.append(sim.schedule_after(10.0, lambda: None))
+            if sim.now() < 1.0:
+                sim.schedule_after(0.1, tick)
+
+        sim.schedule_after(0.1, tick)
+        sim.run(until=2.0)
+        # one live watchdog timer remains, and cancelling handles that
+        # already fired (the ticks) must not disturb the depth
+        assert sim.queue_depth == 1
+        q = sim.queue
+        assert q.pruned <= q.cancels
+        assert len(q) == 1
+
+    def test_pop_due_respects_bound(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        assert q.pop_due(0.5) is None
+        assert len(q) == 2  # nothing consumed by a miss
+        ev = q.pop_due(1.0)
+        assert ev is not None and ev.time == 1.0
+        assert q.pop_due(2.0) is None
+        assert q.pop_due(None).time == 3.0
+        assert q.pop_due() is None
+
+
+class TestBackendEquivalence:
+    """The calendar queue and the reference heap must pop in an
+    identical (time, seq) order on any workload."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "push_tie", "pop", "cancel", "repush"]),
+                st.floats(min_value=0.0, max_value=120.0),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_calendar_matches_heap(self, ops):
+        from repro.sim.events import FIRED, CalendarEventQueue, HeapEventQueue
+
+        cal = CalendarEventQueue(bucket_width_s=0.05, n_buckets=64)
+        heap = HeapEventQueue()
+        pairs = []
+        now = 0.0
+        for op, dt, pick in ops:
+            if op in ("push", "push_tie"):
+                t = now if op == "push_tie" else now + dt
+                pairs.append((cal.push(t, lambda: None), heap.push(t, lambda: None)))
+            elif op == "pop":
+                if cal:
+                    a, b = cal.pop(), heap.pop()
+                    assert (a.time, a.seq) == (b.time, b.seq)
+                    now = max(now, a.time)
+            elif op == "cancel" and pairs:
+                a, b = pairs[pick % len(pairs)]
+                cal.cancel(a)
+                heap.cancel(b)
+            elif op == "repush" and pairs:
+                a, b = pairs[pick % len(pairs)]
+                if a.state == FIRED and b.state == FIRED:
+                    cal.repush(a, now + dt)
+                    heap.repush(b, now + dt)
+            assert len(cal) == len(heap)
+            ca, cb = cal.peek(), heap.peek()
+            assert (ca is None) == (cb is None)
+            if ca is not None:
+                assert (ca.time, ca.seq) == (cb.time, cb.seq)
+        while cal:
+            a, b = cal.pop(), heap.pop()
+            assert (a.time, a.seq) == (b.time, b.seq)
+        assert not heap
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=60.0),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_calendar_matches_the_frozen_legacy_order(self, times):
+        # Same pop order as what PR 6 shipped (push/pop only: the
+        # legacy queue predates safe cancellation semantics).
+        from benchmarks._legacy_kernel import LegacyEventQueue
+
+        cal = EventQueue()
+        legacy = LegacyEventQueue()
+        for t in times:
+            cal.push(t, lambda: None)
+            legacy.push(t, lambda: None)
+        order_new = []
+        while cal:
+            ev = cal.pop()
+            order_new.append((ev.time, ev.seq))
+        order_legacy = []
+        while legacy:
+            ev = legacy.pop()
+            order_legacy.append((ev.time, ev.seq))
+        assert order_new == order_legacy
