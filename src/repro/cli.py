@@ -8,6 +8,7 @@ Usage::
     python -m repro fig12 --trace-out fig12_trace.json
     python -m repro trace fig9 --trace-out /tmp/t.json --metrics-out /tmp/m.json
     python -m repro fleet --robots 16 --workers 2 --scheduler edf --fleet-out cap.json
+    python -m repro fleet --hybrid --tenants 100000 --focal 16 --fleet-out hybrid.json
 
 Each artifact prints its regenerated table or ASCII chart. With
 ``--trace-out`` / ``--metrics-out`` (or the ``trace`` command, which
@@ -120,8 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--scheduler",
         choices=SCHEDULER_NAMES,
-        default="edf",
-        help="per-worker serving discipline for 'fleet' (default: edf)",
+        default=None,
+        help="per-worker serving discipline for 'fleet' "
+        "(default: edf; ps under --hybrid, the validated fidelity config)",
     )
     fleet.add_argument(
         "--seed",
@@ -133,7 +135,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fleet-out",
         metavar="PATH",
         default=None,
-        help="write the fleet capacity curve as canonical JSON",
+        help="write the fleet capacity curve (or hybrid result) as canonical JSON",
+    )
+    fleet.add_argument(
+        "--hybrid",
+        action="store_true",
+        help="hybrid fluid/DES mode: --focal tenants in full DES, the "
+        "rest as calibrated fluid background (see docs/hybrid.md)",
+    )
+    fleet.add_argument(
+        "--tenants",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="total fleet size for --hybrid (default: 10000)",
+    )
+    fleet.add_argument(
+        "--focal",
+        type=int,
+        default=8,
+        metavar="K",
+        help="focal tenants simulated in full DES for --hybrid (default: 8)",
+    )
+    fleet.add_argument(
+        "--bg-jitter",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="fractional fluid-demand fluctuation per re-calibration, "
+        "seeded from --seed (default: 0, no jitter)",
+    )
+    fleet.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        metavar="B",
+        help="worker-side batching: coalesce up to B compatible requests "
+        "per execution (default: 0, batching off)",
+    )
+    fleet.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=20.0,
+        metavar="MS",
+        help="max staging wait for a batch's first request (default: 20)",
+    )
+    fleet.add_argument(
+        "--batch-amortization",
+        type=float,
+        default=0.25,
+        metavar="A",
+        help="marginal cost fraction of each extra batched request "
+        "(default: 0.25)",
     )
     recover = parser.add_argument_group("recover", "options for the 'recover' artifact")
     recover.add_argument(
@@ -199,15 +252,39 @@ def main(argv: list[str] | None = None) -> int:
 
         profilers = Simulator.install_default_profiling()
 
+    batching = None
+    if args.batch_size >= 1:
+        from repro.cloud import BatchPolicy
+
+        batching = BatchPolicy(
+            max_size=args.batch_size,
+            max_wait_s=args.batch_wait_ms / 1000.0,
+            amortization=args.batch_amortization,
+        )
+
     for name in names:
         runner, _ = ARTIFACTS[name]
         kwargs: dict[str, object] = {}
-        if name == "fleet":
+        if name == "fleet" and args.hybrid:
+            from repro.hybrid import run_fleet_hybrid
+
+            runner = run_fleet_hybrid
+            kwargs = {
+                "tenants": args.tenants,
+                "focal": args.focal,
+                "workers": args.workers,
+                "scheduler": args.scheduler or "ps",
+                "seed": args.seed,
+                "jitter": args.bg_jitter,
+                "batching": batching,
+            }
+        elif name == "fleet":
             kwargs = {
                 "robots": args.robots,
                 "workers": args.workers,
-                "scheduler": args.scheduler,
+                "scheduler": args.scheduler or "edf",
                 "seed": args.seed,
+                "batching": batching,
             }
         if tel is not None:
             kwargs["telemetry"] = tel

@@ -15,6 +15,7 @@ from repro.cloud.admission import (
     TenantSpec,
 )
 from repro.cloud.autoscaler import Autoscaler
+from repro.cloud.batching import BatchKey, BatchPolicy, batch_key
 from repro.cloud.balancer import (
     BALANCER_NAMES,
     AffinityBalancer,
@@ -41,6 +42,8 @@ __all__ = [
     "AffinityBalancer",
     "Autoscaler",
     "BALANCER_NAMES",
+    "BatchKey",
+    "BatchPolicy",
     "EdfScheduler",
     "FifoScheduler",
     "LeastLoadedBalancer",
@@ -55,6 +58,7 @@ __all__ = [
     "TenantStats",
     "TickRequest",
     "WorkerPool",
+    "batch_key",
     "make_balancer",
     "make_scheduler",
 ]

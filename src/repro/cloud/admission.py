@@ -89,6 +89,10 @@ class AdmissionController:
     p95_factor: float = 1.25
     max_utilization: float = 0.9
     telemetry: "Telemetry | None" = None
+    #: Fluid background demand (repro.hybrid), in core-seconds per
+    #: second, counted alongside the admitted tenants' demand in every
+    #: projection. 0.0 (the default) leaves projections unchanged.
+    background_demand_cores: float = 0.0
     #: Admitted tenants at their *granted* widths.
     admitted: dict[str, TenantSpec] = field(default_factory=dict)
     decisions: list[AdmissionDecision] = field(default_factory=list)
@@ -116,6 +120,7 @@ class AdmissionController:
         demand = sum(
             self._demand(s, s.threads) for s in self.admitted.values()
         )
+        demand += self.background_demand_cores
         if extra is not None:
             demand += self._demand(extra[0], extra[1])
         cap = self._capacity()

@@ -180,8 +180,34 @@ class Autoscaler:
             and self._pending_up == 0
             and n_live > self.min_workers
             and self._scaled_up
+            and self._retirement_safe()
         ):
             self._scale_down(now)
+
+    def _retirement_safe(self) -> bool:
+        """Scale-down may not strand the fluid background's demand.
+
+        In hybrid runs (:mod:`repro.hybrid`) most of the load is
+        continuous background demand rather than queued requests, so
+        the queue-empty + low-utilization test alone could retire a
+        worker whose share of the fluid demand pushes the survivors
+        straight past ``high_utilization`` — an immediate flap.
+        Retirement is vetoed when the post-retirement utilization
+        would cross the scale-up threshold. Pure-DES runs (no
+        background demand) are unaffected.
+        """
+        if self.pool.background_demand_cores == 0.0:
+            return True
+        name = self._scaled_up[-1]
+        live = self.pool.live_workers()
+        cand = next((w for w in live if w.host.name == name), None)
+        if cand is None:
+            return True
+        remaining = sum(w.capacity for w in live) - cand.capacity
+        if remaining <= 0:
+            return False
+        demand = sum(w.load() * w.capacity for w in live)
+        return demand / remaining < self.high_utilization
 
     def _scale_up(self, now: float) -> None:
         self._last_action_t = now

@@ -1,0 +1,104 @@
+"""Worker-side request batching: coalesce compatible ticks.
+
+Real inference servers batch compatible requests so the fixed
+per-request cost (kernel launch, weight streaming, result gather) is
+paid once per *batch* instead of once per request. The serving layer
+models the same economics for offloaded control ticks: a
+:class:`~repro.cloud.pool.PoolWorker` holds arriving
+:class:`~repro.cloud.request.TickRequest`\\ s in a short per-shape
+staging window and executes each coalesced batch as one job whose
+duration grows *sub-linearly* in the batch size.
+
+Two requests are **compatible** when they share a shape — identical
+``(cycles, threads, profile)`` — so one batched execution really could
+process them together (same kernel, same width, same work per item).
+
+The batch duration model is marginal-cost amortization::
+
+    duration(size) = t_iso * (1 + amortization * (size - 1))
+
+where ``t_iso`` is the single-request execution time on the host and
+``amortization`` is the marginal fraction each *extra* request costs
+(1.0 = no batching benefit, i.e. serial execution; 0.2 = each extra
+request rides along for 20% of a full execution). A batch of one costs
+exactly ``t_iso`` — with ``max_size=1`` the batched path is
+byte-identical to the unbatched one, which
+``tests/test_hybrid.py`` pins with a hypothesis property test.
+
+Batching is **opt-in**: a :class:`~repro.cloud.pool.WorkerPool` built
+without a policy (the default) stages nothing and stays byte-identical
+to pre-batching behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.request import TickRequest
+from repro.compute.executor import ParallelProfile
+
+#: A batch shape: requests coalesce only within one key.
+BatchKey = tuple[float, int, ParallelProfile]
+
+
+def batch_key(req: TickRequest) -> BatchKey:
+    """The compatibility shape of one request."""
+    return (req.cycles, req.threads, req.profile)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How a worker coalesces compatible queued requests.
+
+    Parameters
+    ----------
+    max_size:
+        Size bound: a staging buffer flushes the moment it holds this
+        many requests. ``1`` disables coalescing while keeping the
+        batched code path (the byte-identity baseline).
+    max_wait_s:
+        Deadline bound, part one: the first request of a batch waits at
+        most this long for company before the buffer flushes.
+    amortization:
+        Marginal cost fraction of each extra request in a batch, in
+        ``(0, 1]``. The batch executes in
+        ``t_iso * (1 + amortization * (size - 1))`` virtual seconds.
+    deadline_guard_s:
+        Deadline bound, part two: a request never waits in staging if
+        doing so would leave less than this much slack before its
+        absolute deadline (projected batch execution included) — the
+        buffer flushes immediately instead.
+    """
+
+    max_size: int = 8
+    max_wait_s: float = 0.02
+    amortization: float = 0.25
+    deadline_guard_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {self.max_size}")
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be non-negative, got {self.max_wait_s}")
+        if not 0.0 < self.amortization <= 1.0:
+            raise ValueError(
+                f"amortization must be in (0, 1], got {self.amortization}"
+            )
+        if self.deadline_guard_s < 0:
+            raise ValueError(
+                f"deadline_guard_s must be non-negative, got {self.deadline_guard_s}"
+            )
+
+    def duration(self, iso_s: float, size: int) -> float:
+        """Virtual seconds one batched execution of ``size`` requests takes.
+
+        Exactly ``iso_s`` for a batch of one, so the ``max_size=1``
+        configuration reproduces the unbatched path bit for bit.
+        """
+        if size <= 1:
+            return iso_s
+        return iso_s * (1.0 + self.amortization * (size - 1))
+
+    def speedup(self, size: int) -> float:
+        """Throughput gain over serving ``size`` requests unbatched."""
+        return size / (1.0 + self.amortization * (size - 1))

@@ -5,7 +5,7 @@ A :class:`WorkerPool` owns one :class:`PoolWorker` per server
 :class:`~repro.cloud.request.TickRequest`\\ s through its
 :class:`~repro.cloud.balancer.LoadBalancer`, and survives worker
 crashes by re-placing every request the dead worker was holding
-(active and queued) on the survivors — the rebalance path
+(active, queued and staged) on the survivors — the rebalance path
 :mod:`repro.faults` drives through ``ServerCrash`` faults.
 
 Each worker serves under the discipline of its
@@ -13,6 +13,18 @@ Each worker serves under the discipline of its
 requests hold cores exclusively) or processor sharing (everything
 runs, overload stretches everyone — the DES realization of
 :mod:`repro.extensions.fleet`).
+
+Two opt-in extensions ride on the same worker machinery, both inert
+(byte-identical event streams) unless enabled:
+
+* **batching** (:mod:`repro.cloud.batching`) — a worker coalesces
+  compatible requests in a short staging window and executes each
+  batch as one job with amortized per-request cost;
+* **fluid background load** (:mod:`repro.hybrid`) — a calibrated
+  analytical tenant population imposes continuous core demand on the
+  workers, stretching service (PS rate / queueing durations) and
+  driving the pool's utilization, admission and autoscaling signals
+  without per-tenant DES events.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING
 
 from repro.cloud.balancer import LoadBalancer
+from repro.cloud.batching import BatchKey, BatchPolicy, batch_key
 from repro.cloud.request import TickRequest
 from repro.cloud.scheduler import Scheduler
 from repro.compute.host import Host
@@ -37,24 +50,68 @@ CompletionFn = Callable[[TickRequest, float], None]
 _PS_EPS = 1e-9
 
 
-class _Job:
-    """One request being served (or queued) on a worker."""
+class _Member:
+    """One request riding in a (possibly batched) job."""
 
-    __slots__ = (
-        "req", "on_complete", "width", "started_at", "event", "remaining_s",
-        "enqueued_at",
-    )
+    __slots__ = ("req", "on_complete", "enqueued_at")
 
     def __init__(
-        self, req: TickRequest, on_complete: CompletionFn, width: int
+        self, req: TickRequest, on_complete: CompletionFn, enqueued_at: float
     ) -> None:
         self.req = req
         self.on_complete = on_complete
+        self.enqueued_at = enqueued_at
+
+
+class _Job:
+    """One unit of execution on a worker: a single request or a batch.
+
+    Every member of a batch shares the job's fate — they start
+    together, finish together, and are evicted together. ``iso_s`` is
+    the contention-free duration of the job (amortized across the
+    batch, including any host derate) — the observed-service signal
+    the hybrid layer re-calibrates its fluid model from.
+    """
+
+    __slots__ = (
+        "members", "width", "started_at", "event", "remaining_s",
+        "iso_s",
+    )
+
+    def __init__(self, members: list[_Member], width: int) -> None:
+        self.members = members
         self.width = width
         self.started_at = 0.0
         self.event: Event | None = None  # queueing-mode completion event
-        self.remaining_s = 0.0  # PS-mode isolated work left
-        self.enqueued_at = 0.0  # when this placement reached the worker
+        self.remaining_s = 0.0  # PS-mode contention-free work left
+        self.iso_s = 0.0  # contention-free duration (calibration signal)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def policy_req(self) -> TickRequest:
+        """The request the scheduler judges this job by.
+
+        The earliest-absolute-deadline member, so EDF treats a batch
+        as urgent as its most urgent rider; for a single-request job
+        this is simply the request (ties keep arrival order — ``min``
+        is stable).
+        """
+        return min(self.members, key=lambda m: m.req.absolute_deadline).req
+
+
+class _Stage:
+    """A per-shape staging buffer collecting one batch."""
+
+    __slots__ = ("members", "timer", "t_first", "min_deadline")
+
+    def __init__(self) -> None:
+        self.members: list[_Member] = []
+        self.timer: Event | None = None
+        self.t_first = 0.0
+        self.min_deadline = float("inf")
 
 
 class PoolWorker:
@@ -66,21 +123,40 @@ class PoolWorker:
         host: Host,
         scheduler: Scheduler,
         telemetry: "Telemetry | None" = None,
+        batching: BatchPolicy | None = None,
     ) -> None:
         self.sim = sim
         self.host = host
         self.scheduler = scheduler
         self.telemetry = telemetry
+        self.batching = batching
         self.capacity = host.platform.hardware_threads
         #: Autoscaler drain flag: a retiring worker takes no new work.
         self.accepting = True
         self._queue: list[_Job] = []
         self._active: list[_Job] = []
+        #: Batching staging buffers, one per compatible request shape.
+        self._stages: dict[BatchKey, _Stage] = {}
         # processor-sharing bookkeeping
         self._ps_last_t = sim.now()
         self._ps_event: Event | None = None
         #: Requests completed by this worker (capacity accounting).
         self.served = 0
+        #: Batches executed and requests they carried (occupancy stats).
+        self.batches = 0
+        self.batched_requests = 0
+        #: Fluid background demand (repro.hybrid), in continuously
+        #: claimed hardware threads. Stretches service but never
+        #: occupies queue slots — the fluid analog of N-K tenants'
+        #: duty-cycled core usage.
+        self.background_load = 0.0
+        #: Observed contention-free service seconds and the model's
+        #: prediction for the same completions (single-request, no
+        #: derate, no batching) — the hybrid calibration signal: their
+        #: ratio captures derates and batching amortization.
+        self.obs_iso_s = 0.0
+        self.obs_pred_s = 0.0
+        self.obs_requests = 0
 
     # ------------------------------------------------------------------
     # State views
@@ -91,22 +167,61 @@ class PoolWorker:
         return self.host.up
 
     def queue_depth(self) -> int:
-        """Requests waiting (always 0 under processor sharing)."""
-        return len(self._queue)
+        """Requests waiting, staged batches included (0 under PS)."""
+        return sum(j.size for j in self._queue) + sum(
+            len(s.members) for s in self._stages.values()
+        )
 
     def inflight(self) -> int:
         """Requests currently executing."""
-        return len(self._active)
+        return sum(j.size for j in self._active)
 
     def load(self) -> float:
-        """Thread demand (running + queued) over capacity.
+        """Thread demand (running + queued + fluid) over capacity.
 
         Exceeds 1.0 when overcommitted — under processor sharing that
-        is exactly the analytical model's utilization > 1 regime.
+        is exactly the analytical model's utilization > 1 regime. The
+        fluid background's continuous demand counts here so balancers
+        and the autoscaler see the hybrid population.
         """
-        demand = sum(j.width for j in self._active) + sum(
-            j.width for j in self._queue
+        demand = (
+            sum(j.width for j in self._active)
+            + sum(j.width for j in self._queue)
+            + self.background_load
         )
+        return demand / self.capacity
+
+    # ------------------------------------------------------------------
+    # Fluid background (repro.hybrid)
+    # ------------------------------------------------------------------
+    def set_background(self, cores: float) -> None:
+        """Impose ``cores`` of continuous fluid demand on this worker.
+
+        Under processor sharing the in-flight jobs' progress is
+        credited at the old rate first, then the share timer re-plans
+        at the new one. Under queueing, already-running jobs keep the
+        duration they started with; the new demand stretches jobs
+        started from now on. A no-op when the demand is unchanged, so
+        zero-background runs stay byte-identical.
+        """
+        if cores < 0:
+            raise ValueError(f"background cores must be non-negative, got {cores}")
+        if cores == self.background_load:
+            return
+        now = self.sim.now()
+        if self.scheduler.sharing:
+            self._ps_advance(now)
+            self.background_load = cores
+            if self._active:
+                self._ps_reschedule(now)
+        else:
+            self.background_load = cores
+
+    def _stretch(self, width_demand: float) -> float:
+        """Fluid contention factor for ``width_demand`` running threads."""
+        demand = width_demand + self.background_load
+        if demand <= self.capacity:
+            return 1.0
         return demand / self.capacity
 
     # ------------------------------------------------------------------
@@ -114,19 +229,86 @@ class PoolWorker:
     # ------------------------------------------------------------------
     def submit(self, req: TickRequest, on_complete: CompletionFn) -> None:
         """Accept one request under this worker's discipline."""
+        now = self.sim.now()
+        if self.batching is not None:
+            self._stage_submit(req, on_complete, now)
+            return
         width = min(req.threads, self.capacity)
-        job = _Job(req, on_complete, width)
-        job.enqueued_at = self.sim.now()
+        self._admit(_Job([_Member(req, on_complete, now)], width))
+
+    def _admit(self, job: _Job) -> None:
+        """Hand one (possibly batched) job to the discipline."""
         if self.scheduler.sharing:
             self._ps_admit(job)
         else:
             self._queue.append(job)
             self._dispatch()
 
-    def _trace_segment(
-        self, job: _Job, name: str, t_start: float, t_end: float, **attrs: object
+    # -- batching (staging window) -------------------------------------
+    def _stage_submit(
+        self, req: TickRequest, on_complete: CompletionFn, now: float
     ) -> None:
-        """Record one causal segment against the job's request trace.
+        """Park one request in its shape's staging buffer.
+
+        The buffer flushes on whichever bound trips first: size
+        (``max_size`` riders), wait (``max_wait_s`` after the first
+        rider), or deadline (waiting out the window would leave a
+        rider less than ``deadline_guard_s`` of slack).
+        """
+        pol = self.batching
+        assert pol is not None
+        key = batch_key(req)
+        stage = self._stages.get(key)
+        if stage is None:
+            stage = _Stage()
+            self._stages[key] = stage
+        member = _Member(req, on_complete, now)
+        stage.members.append(member)
+        if req.absolute_deadline < stage.min_deadline:
+            stage.min_deadline = req.absolute_deadline
+        size = len(stage.members)
+        if size >= pol.max_size:
+            self._flush_stage(key)
+            return
+        t_first = stage.t_first if size > 1 else now
+        iso = self.host.exec_time(req.cycles, req.threads, req.profile)
+        est_done = t_first + pol.max_wait_s + pol.duration(iso, size)
+        if est_done + pol.deadline_guard_s > stage.min_deadline:
+            self._flush_stage(key)
+            return
+        if size == 1:
+            stage.t_first = now
+            stage.timer = self.sim.schedule_after(
+                pol.max_wait_s,
+                lambda: self._flush_stage(key),
+                label=f"pool:{self.host.name}:batchwait",
+            )
+
+    def _flush_stage(self, key: BatchKey) -> None:
+        """Turn one staging buffer into a job and admit it."""
+        stage = self._stages.pop(key, None)
+        if stage is None or not stage.members:  # raced with eviction
+            return
+        if stage.timer is not None:
+            self.sim.cancel(stage.timer)
+            stage.timer = None
+        head = stage.members[0].req
+        width = min(head.threads, self.capacity)
+        job = _Job(stage.members, width)
+        self.batches += 1
+        self.batched_requests += job.size
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram(
+                "cloud_batch_occupancy",
+                "requests coalesced per executed batch, per worker",
+            ).observe(job.size, worker=self.host.name)
+        self._admit(job)
+
+    def _trace_segment(
+        self, req: TickRequest, name: str, t_start: float, t_end: float,
+        **attrs: object,
+    ) -> None:
+        """Record one causal segment against the request's trace.
 
         Segments telescope: ``queue_wait`` spans enqueue -> start and
         ``service`` spans start -> finish, so a request's segment sum
@@ -135,10 +317,10 @@ class PoolWorker:
         ones at crash time).
         """
         tel = self.telemetry
-        if tel is None or tel.requests is None or job.req.ctx is None:
+        if tel is None or tel.requests is None or req.ctx is None:
             return
         tel.requests.segment(
-            job.req.ctx, name, t_start, t_end, worker=self.host.name, **attrs
+            req.ctx, name, t_start, t_end, worker=self.host.name, **attrs
         )
 
     def evict_all(self) -> list[tuple[TickRequest, CompletionFn]]:
@@ -146,27 +328,46 @@ class PoolWorker:
 
         Active requests lose their progress — the replacement worker
         starts them from scratch, which is what a stateless tick
-        recompute costs in the real system.
+        recompute costs in the real system. A batch dies as a whole:
+        each member is returned exactly once (active, then queued,
+        then staged) and the batch's completion event is cancelled, so
+        a crash that splits a batch can never double-complete — and
+        hence never double-count — any of its riders.
         """
         now = self.sim.now()
-        victims = [(j.req, j.on_complete) for j in self._active] + [
-            (j.req, j.on_complete) for j in self._queue
-        ]
+        victims: list[tuple[TickRequest, CompletionFn]] = []
         for j in self._active:
             if j.event is not None:
                 self.sim.cancel(j.event)
                 j.event = None
             self.host.vacate(j.width, now)
-            # Close the partial service segment at crash time so the
-            # request's timeline stays gap-free across the rebalance.
-            self._trace_segment(j, "service", j.started_at, now, evicted=True)
+            for m in j.members:
+                victims.append((m.req, m.on_complete))
+                # Close the partial service segment at crash time so the
+                # request's timeline stays gap-free across the rebalance.
+                self._trace_segment(m.req, "service", j.started_at, now, evicted=True)
         for j in self._queue:
-            self._trace_segment(j, "queue_wait", j.enqueued_at, now, evicted=True)
+            for m in j.members:
+                victims.append((m.req, m.on_complete))
+                self._trace_segment(
+                    m.req, "queue_wait", m.enqueued_at, now, evicted=True
+                )
+        for stage in self._stages.values():
+            if stage.timer is not None:
+                self.sim.cancel(stage.timer)
+                stage.timer = None
+            for m in stage.members:
+                victims.append((m.req, m.on_complete))
+                self._trace_segment(
+                    m.req, "queue_wait", m.enqueued_at, now, evicted=True
+                )
+            stage.members = []
         if self._ps_event is not None:
             self.sim.cancel(self._ps_event)
             self._ps_event = None
         self._active.clear()
         self._queue.clear()
+        self._stages.clear()
         self._ps_last_t = now
         return victims
 
@@ -177,24 +378,45 @@ class PoolWorker:
     def _dispatch(self) -> None:
         now = self.sim.now()
         while self._queue:
-            i = self.scheduler.pick([j.req for j in self._queue], now)
+            i = self.scheduler.pick([j.policy_req for j in self._queue], now)
             if self._queue[i].width > self._free_threads():
                 break  # policy head blocks until it fits (no backfill)
             job = self._queue.pop(i)
             self._start(job, now)
 
+    def _iso_duration(self, job: _Job) -> float:
+        """Contention-free duration of one job (batch-amortized)."""
+        head = job.members[0].req
+        iso = self.host.exec_time(head.cycles, head.threads, head.profile)
+        if self.batching is None:
+            return iso
+        return self.batching.duration(iso, job.size)
+
     def _start(self, job: _Job, now: float) -> None:
         job.started_at = now
-        self._trace_segment(job, "queue_wait", job.enqueued_at, now)
-        duration = self.host.exec_time(
-            job.req.cycles, job.req.threads, job.req.profile
+        size = job.size
+        batch_attrs = {"batch": size} if size > 1 else {}
+        for m in job.members:
+            self._trace_segment(
+                m.req, "queue_wait", m.enqueued_at, now, **batch_attrs
+            )
+        job.iso_s = self._iso_duration(job)
+        # Fluid background contention: running width (this job included)
+        # plus the background's continuous demand, over capacity. With
+        # no background this is <= 1 by the dispatch guard, so the
+        # duration is exactly the isolated one.
+        stretch = self._stretch(
+            sum(j.width for j in self._active) + job.width
         )
+        duration = job.iso_s * stretch if stretch > 1.0 else job.iso_s
         self.host.occupy(job.width, now)
         self._active.append(job)
+        head = job.members[0].req
+        label_key = head.tenant if size == 1 else f"batch{size}"
         job.event = self.sim.schedule_after(
             duration,
             lambda: self._finish(job),
-            label=f"pool:{self.host.name}:{job.req.tenant}",
+            label=f"pool:{self.host.name}:{label_key}",
         )
 
     def _finish(self, job: _Job) -> None:
@@ -202,15 +424,43 @@ class PoolWorker:
         job.event = None
         self._active.remove(job)
         self.host.vacate(job.width, now)
-        self.host.account(job.req.tenant, job.req.cycles, now - job.started_at)
-        self._trace_segment(job, "service", job.started_at, now, width=job.width)
-        self.served += 1
-        job.on_complete(job.req, now)
+        self._complete_members(job, now, shared=False)
         self._dispatch()
+
+    def _complete_members(self, job: _Job, now: float, shared: bool) -> None:
+        """Account, trace and call back every member of a finished job.
+
+        A member whose request already completed elsewhere (a stale
+        duplicate after a crash-split rebalance) is skipped entirely:
+        it contributes neither to ``served`` nor to the energy or
+        calibration accounting, so pool throughput metrics count each
+        request exactly once.
+        """
+        size = job.size
+        elapsed = now - job.started_at
+        batch_attrs: dict[str, object] = {"batch": size} if size > 1 else {}
+        if shared:
+            batch_attrs["shared"] = True
+        head = job.members[0].req
+        self.obs_iso_s += job.iso_s
+        self.obs_pred_s += size * self.host.exec_model.exec_time(
+            head.cycles, head.threads, head.profile
+        )
+        self.obs_requests += size
+        live = [m for m in job.members if not m.req.completed]
+        for m in live:
+            self.host.account(m.req.tenant, m.req.cycles, elapsed / size)
+            self._trace_segment(
+                m.req, "service", job.started_at, now,
+                width=job.width, **batch_attrs,
+            )
+        self.served += len(live)
+        for m in live:
+            m.on_complete(m.req, now)
 
     # -- processor sharing ---------------------------------------------
     def _ps_rate(self) -> float:
-        demand = sum(j.width for j in self._active)
+        demand = sum(j.width for j in self._active) + self.background_load
         if demand <= self.capacity:
             return 1.0
         return self.capacity / demand
@@ -228,11 +478,16 @@ class PoolWorker:
         now = self.sim.now()
         self._ps_advance(now)
         job.started_at = now
-        # Processor sharing admits immediately: queue_wait is zero-width.
-        self._trace_segment(job, "queue_wait", job.enqueued_at, now)
-        job.remaining_s = self.host.exec_time(
-            job.req.cycles, job.req.threads, job.req.profile
-        )
+        size = job.size
+        batch_attrs = {"batch": size} if size > 1 else {}
+        # Processor sharing admits immediately: queue_wait spans only
+        # any batching stage wait (zero-width when unbatched).
+        for m in job.members:
+            self._trace_segment(
+                m.req, "queue_wait", m.enqueued_at, now, **batch_attrs
+            )
+        job.iso_s = self._iso_duration(job)
+        job.remaining_s = job.iso_s
         self.host.occupy(job.width, now)
         self._active.append(job)
         self._ps_reschedule(now)
@@ -264,14 +519,7 @@ class PoolWorker:
         for job in done:
             self._active.remove(job)
             self.host.vacate(job.width, now)
-            self.host.account(
-                job.req.tenant, job.req.cycles, now - job.started_at
-            )
-            self._trace_segment(
-                job, "service", job.started_at, now, width=job.width, shared=True
-            )
-            self.served += 1
-            job.on_complete(job.req, now)
+            self._complete_members(job, now, shared=True)
         self._ps_reschedule(now, spent=spent)
 
 
@@ -291,6 +539,10 @@ class WorkerPool:
         Request -> worker routing policy.
     telemetry:
         Optional metrics/events sink; per-tenant labels throughout.
+    batching:
+        Optional :class:`~repro.cloud.batching.BatchPolicy` applied by
+        every worker. ``None`` (default) keeps the unbatched path —
+        byte-identical to pre-batching behaviour.
     """
 
     def __init__(
@@ -300,11 +552,13 @@ class WorkerPool:
         scheduler: Scheduler,
         balancer: LoadBalancer,
         telemetry: "Telemetry | None" = None,
+        batching: BatchPolicy | None = None,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
         self.balancer = balancer
         self.telemetry = telemetry
+        self.batching = batching
         self.workers: list[PoolWorker] = []
         #: Requests parked while no worker was up, re-placed on recovery.
         self._stranded: list[tuple[TickRequest, CompletionFn]] = []
@@ -312,6 +566,12 @@ class WorkerPool:
         self.submitted = 0
         self.completed = 0
         self.rebalanced = 0
+        #: Stale completions suppressed by the exactly-once guard (a
+        #: request completing again after a crash-split rebalance).
+        self.duplicate_completions = 0
+        #: Total fluid background demand (repro.hybrid), in cores,
+        #: spread evenly across live accepting workers.
+        self.background_demand_cores = 0.0
         self._instruments = None
         if telemetry is not None:
             m = telemetry.metrics
@@ -345,9 +605,12 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def add_worker(self, host: Host) -> PoolWorker:
         """Join a new serving host (autoscaler scale-up path)."""
-        w = PoolWorker(self.sim, host, self.scheduler, self.telemetry)
+        w = PoolWorker(
+            self.sim, host, self.scheduler, self.telemetry, self.batching
+        )
         self.workers.append(w)
         self._emit("pool_worker_added", worker=host.name)
+        self._spread_background()
         self._sample_gauges()
         # A stranded backlog drains onto the first worker that appears.
         self._replay_stranded()
@@ -360,6 +623,7 @@ class WorkerPool:
         victims = w.evict_all()
         self.workers.remove(w)
         self._emit("pool_worker_removed", worker=name, replaced=len(victims))
+        self._spread_background()
         self._replace(victims, crashed=name)
         self._sample_gauges()
 
@@ -372,6 +636,38 @@ class WorkerPool:
             if w.host.name == name:
                 return w
         raise KeyError(f"no pool worker named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Fluid background (repro.hybrid)
+    # ------------------------------------------------------------------
+    def set_background_demand(self, cores: float) -> None:
+        """Impose a fluid tenant population's demand on the pool.
+
+        ``cores`` is the population's continuous core demand (its
+        core-seconds per second), spread evenly across live accepting
+        workers. Setting 0 clears it. The demand shows up in every
+        load signal — :meth:`PoolWorker.load`, :meth:`utilization`,
+        the telemetry gauges — and stretches service per the fluid
+        model, but occupies no queue slots and costs no DES events.
+        """
+        if cores < 0:
+            raise ValueError(f"background cores must be non-negative, got {cores}")
+        self.background_demand_cores = cores
+        self._spread_background()
+        self._sample_gauges()
+
+    def _spread_background(self) -> None:
+        """Rebalance the fluid demand over the current live workers."""
+        if self.background_demand_cores == 0.0 and not any(
+            w.background_load for w in self.workers
+        ):
+            return  # zero-background runs: stay byte-identical
+        live = self.live_workers()
+        share = (
+            self.background_demand_cores / len(live) if live else 0.0
+        )
+        for w in self.workers:
+            w.set_background(share if (w.up and w.accepting) else 0.0)
 
     # ------------------------------------------------------------------
     # Serving
@@ -411,6 +707,14 @@ class WorkerPool:
 
     def _wrap(self, on_complete: CompletionFn) -> CompletionFn:
         def done(req: TickRequest, t: float) -> None:
+            if req.completed:
+                # Exactly-once guard: a stale duplicate (e.g. a batch
+                # split by a crash whose riders were re-served) must
+                # not inflate throughput or fire the tenant twice.
+                self.duplicate_completions += 1
+                self._count(req.tenant, "duplicate")
+                return
+            req.completed = True
             self.completed += 1
             if self._instruments is not None:
                 requests, service, *_ = self._instruments
@@ -429,7 +733,8 @@ class WorkerPool:
 
         Returns the number of re-placed requests. Requests land on the
         surviving workers via the normal balancer; with nothing left
-        up they park until :meth:`on_worker_up`.
+        up they park until :meth:`on_worker_up`. Any fluid background
+        demand migrates to the survivors with them.
         """
         w = next((w for w in self.workers if w.host is host), None)
         if w is None:
@@ -438,6 +743,7 @@ class WorkerPool:
         self._emit(
             "pool_rebalance", worker=host.name, replaced=len(victims)
         )
+        self._spread_background()
         self._replace(victims, crashed=host.name)
         self._sample_gauges()
         return len(victims)
@@ -445,6 +751,7 @@ class WorkerPool:
     def on_worker_up(self, host: Host) -> None:
         """A crashed pool host restarted: drain any parked backlog."""
         self._emit("pool_worker_restored", worker=host.name)
+        self._spread_background()
         self._replay_stranded()
         self._sample_gauges()
 
@@ -479,6 +786,32 @@ class WorkerPool:
     def queue_depth(self) -> int:
         """Total queued requests across the pool."""
         return sum(w.queue_depth() for w in self.workers)
+
+    def total_capacity(self) -> float:
+        """Hardware threads across live workers (admission's ceiling)."""
+        return float(sum(w.capacity for w in self.live_workers()))
+
+    def observed_iso_stats(self) -> tuple[float, float, int]:
+        """Pooled calibration signal: (observed_s, predicted_s, requests).
+
+        Sums every worker's contention-free service seconds (derates
+        and batching amortization included), the execution model's
+        prediction for the same completions, and how many requests
+        they cover — what :class:`repro.hybrid.FluidBackground` re-fits
+        its fluid rate from.
+        """
+        return (
+            sum(w.obs_iso_s for w in self.workers),
+            sum(w.obs_pred_s for w in self.workers),
+            sum(w.obs_requests for w in self.workers),
+        )
+
+    def batch_stats(self) -> tuple[int, int]:
+        """(batches executed, requests they carried) across workers."""
+        return (
+            sum(w.batches for w in self.workers),
+            sum(w.batched_requests for w in self.workers),
+        )
 
     def select_host(self, node_name: str) -> Host:
         """Least-loaded live host, for pool-mediated node placement.

@@ -57,6 +57,11 @@ class TickRequest:
     arrival_at: float = field(default=0.0, compare=False)
     #: How many times a worker crash forced this request to move.
     rebalances: int = field(default=0, compare=False)
+    #: Set by the pool the first time the request completes. A stale
+    #: duplicate completion (a batch split by a crash whose riders were
+    #: already re-served elsewhere) is suppressed by this flag so pool
+    #: throughput counts each request exactly once.
+    completed: bool = field(default=False, compare=False)
     #: Causal trace context (repro.obs), set by the issuing tenant when
     #: request tracing is enabled; ``None`` otherwise. Never compared —
     #: a traced request equals its untraced twin.

@@ -16,6 +16,14 @@ two mechanics, selected by its scheduler:
   is the event-driven realization of the analytical contention model
   in :mod:`repro.extensions.fleet` (stretch = max(1, utilization)),
   and the two are cross-validated in ``tests/test_cloud.py``.
+
+When worker-side batching (:mod:`repro.cloud.batching`) is enabled,
+the unit the worker queues and runs is a *batch job*, and the request
+a policy sees through :meth:`Scheduler.pick` is the job's
+representative — its earliest-absolute-deadline member — so EDF
+treats a batch as exactly as urgent as its most urgent rider. With
+batching disabled (the default) every job carries one request and
+nothing changes.
 """
 
 from __future__ import annotations

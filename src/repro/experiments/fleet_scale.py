@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 
 from repro.cloud import (
     AdmissionController,
+    BatchPolicy,
     RobotTenant,
     TenantSpec,
     TenantStats,
@@ -312,7 +313,7 @@ def _tenant_name(i: int) -> str:
     return f"robot{i:02d}"
 
 
-def _serve_fleet(
+def serve_fleet_point(
     n_robots: int,
     workers: int,
     scheduler: str,
@@ -327,8 +328,13 @@ def _serve_fleet(
     seed: int,
     use_radio: bool,
     telemetry: "Telemetry | None",
+    batching: BatchPolicy | None = None,
 ) -> PolicyOutcome:
-    """One fleet size under one policy; a fresh simulator each time."""
+    """One fleet size under one policy; a fresh simulator each time.
+
+    Public so :mod:`repro.hybrid`'s fidelity benchmark can measure the
+    full-DES reference point it compares the hybrid mode against.
+    """
     sim = Simulator()
     hosts = [Host(f"cloud-vm{i}", CLOUD_SERVER) for i in range(workers)]
     pool = WorkerPool(
@@ -337,6 +343,7 @@ def _serve_fleet(
         make_scheduler(scheduler),
         make_balancer(balancer),
         telemetry=telemetry,
+        batching=batching,
     )
     controller = AdmissionController(
         pool, network_latency_s=wired_latency_s, telemetry=telemetry
@@ -466,6 +473,7 @@ def run_fleet(
     seed: int = 0,
     use_radio: bool = True,
     telemetry: "Telemetry | None" = None,
+    batching: BatchPolicy | None = None,
 ) -> FleetResult:
     """Sweep fleet size 1..robots under admission control vs admit-all.
 
@@ -481,7 +489,7 @@ def run_fleet(
     for n in range(1, robots + 1):
         outcomes = {}
         for admission in (True, False):
-            outcomes[admission] = _serve_fleet(
+            outcomes[admission] = serve_fleet_point(
                 n,
                 workers,
                 scheduler,
@@ -496,6 +504,7 @@ def run_fleet(
                 seed,
                 use_radio,
                 telemetry,
+                batching=batching,
             )
         points.append(
             CapacityPoint(
@@ -544,6 +553,9 @@ class FleetChaosResult:
     restart_after_s: float
     sim_time_s: float
     rebalanced: int  # requests re-placed off the dead worker
+    #: Stale completions the pool's exactly-once guard suppressed (a
+    #: crash-split batch re-serving an already-completed request).
+    duplicate_completions: int
     stranded: tuple[str, ...]  # tenants that stopped being served
     all_recovered: bool  # every tenant served ticks after the crash
     tenants: tuple[TenantStats, ...]
@@ -584,6 +596,7 @@ def run_fleet_chaos(
     threads: int = 8,
     seed: int = 0,
     telemetry: "Telemetry | None" = None,
+    batching: BatchPolicy | None = None,
 ) -> FleetChaosResult:
     """Crash one pool worker mid-run; the survivors must absorb it.
 
@@ -603,6 +616,7 @@ def run_fleet_chaos(
         make_scheduler(scheduler),
         make_balancer("least-loaded"),
         telemetry=telemetry,
+        batching=batching,
     )
     period = 1.0 / tick_rate_hz
     tenants = [
@@ -640,6 +654,7 @@ def run_fleet_chaos(
         restart_after_s=restart_after_s,
         sim_time_s=sim_time_s,
         rebalanced=pool.rebalanced,
+        duplicate_completions=pool.duplicate_completions,
         stranded=stranded,
         all_recovered=recovered,
         tenants=stats,

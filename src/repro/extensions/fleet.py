@@ -65,13 +65,85 @@ class FleetServerModel:
     tick_rate_hz: float = 5.0
     network_latency_s: float = 0.02
     profile: ParallelProfile = DWA_PROFILE
+    #: Measured per-tick service time (s) from a DES calibration run,
+    #: used instead of the platform-constant prediction when set. This
+    #: is what :meth:`calibrate_from_des` fills in and what
+    #: :class:`repro.hybrid.FluidBackground` re-fits during a hybrid
+    #: run (absorbing derates and batching amortization the closed
+    #: form cannot know about). ``None`` keeps the analytical value.
+    calibrated_t_iso_s: float | None = None
+
+    def t_iso_s(self) -> float:
+        """Contention-free per-tick service time the model reasons with."""
+        if self.calibrated_t_iso_s is not None:
+            return self.calibrated_t_iso_s
+        return ExecutionModel(self.server).exec_time(
+            self.vdp_cycles, self.threads, self.profile
+        )
+
+    @classmethod
+    def calibrate_from_des(
+        cls,
+        server: PlatformSpec = CLOUD_SERVER,
+        vdp_cycles: float = 1.4e9,
+        threads: int = 8,
+        tick_rate_hz: float = 5.0,
+        network_latency_s: float = 0.02,
+        profile: ParallelProfile = DWA_PROFILE,
+        ticks: int = 8,
+    ) -> "FleetServerModel":
+        """Fit the model's service time from a short DES serving run.
+
+        Runs one tenant for ``ticks`` periods on a single uncontended
+        FIFO :class:`~repro.cloud.pool.PoolWorker` (no radio) and takes
+        the mean measured tick latency as ``calibrated_t_iso_s`` — the
+        DES is the ground truth, so whatever the serving layer actually
+        charges per tick (execution-model details, host derates) lands
+        in the fluid model instead of being re-derived from platform
+        constants. On a pristine host this reproduces the analytical
+        ``exec_time`` to float noise (pinned in ``tests/test_hybrid.py``).
+        """
+        # Local import: repro.cloud sits above this model in the layer
+        # stack (it realizes the discipline this model approximates).
+        from repro.cloud import RobotTenant, TenantSpec, WorkerPool
+        from repro.cloud.balancer import make_balancer
+        from repro.cloud.scheduler import make_scheduler
+        from repro.compute.host import Host
+        from repro.sim.kernel import Simulator
+
+        if ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {ticks}")
+        sim = Simulator()
+        pool = WorkerPool(
+            sim,
+            [Host("calibration-vm", server)],
+            make_scheduler("fifo"),
+            make_balancer("round-robin"),
+        )
+        spec = TenantSpec(
+            "calibration", vdp_cycles, threads, tick_rate_hz, 1.0, profile
+        )
+        tenant = RobotTenant(sim, spec, pool)
+        tenant.start()
+        sim.run(until=ticks / tick_rate_hz + 1e-9)
+        if not tenant.latencies:
+            raise RuntimeError("calibration run completed no ticks")
+        t_iso = sum(tenant.latencies) / len(tenant.latencies)
+        return cls(
+            server=server,
+            vdp_cycles=vdp_cycles,
+            threads=threads,
+            tick_rate_hz=tick_rate_hz,
+            network_latency_s=network_latency_s,
+            profile=profile,
+            calibrated_t_iso_s=t_iso,
+        )
 
     def service_time(self, n_robots: int) -> FleetPoint:
         """Per-robot VDP makespan with ``n_robots`` sharing the server."""
         if n_robots < 1:
             raise ValueError("n_robots must be >= 1")
-        model = ExecutionModel(self.server)
-        t_iso = model.exec_time(self.vdp_cycles, self.threads, self.profile)
+        t_iso = self.t_iso_s()
         # core-seconds demanded per second of wall time
         cores_demanded = n_robots * self.tick_rate_hz * t_iso * min(
             self.threads, self.server.hardware_threads

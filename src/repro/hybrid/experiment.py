@@ -1,0 +1,475 @@
+"""The hybrid fleet experiment: K focal DES tenants + N−K fluid load.
+
+``python -m repro fleet --hybrid --tenants N --focal K`` runs the
+serving layer at fleet sizes the pure DES cannot touch: the K focal
+robots are simulated tick by tick (radio, queueing/sharing, batching,
+telemetry — everything), while the other N−K tenants press on the
+same pool through a calibrated :class:`~repro.hybrid.FluidBackground`.
+Cost scales with K and the admission loop's O(N), so N=10^5–10^6 runs
+in seconds.
+
+Both admission policies are reported, mirroring
+:mod:`repro.experiments.fleet_scale`:
+
+* **admission** — focal tenants pass the Eq. 2c gate one by one (the
+  same sequential prefix a full-DES run would produce), then the
+  background population is ruled on in aggregate, bit-equal to
+  sequential admission (:mod:`repro.hybrid.admission`);
+* **admit-all** — everyone in: the fluid demand is the full N−K
+  population and the focal tenants measure what that does to service.
+
+A point's ``deadline_ok`` combines both halves: the focal verdict is
+*measured* (every admitted focal tenant's p95 within its deadline),
+the background verdict is the fluid projection
+(:meth:`~repro.hybrid.FluidBackground.p95_s` within the deadline).
+With ``N == K`` the background is empty and a point reduces exactly —
+byte-identically — to the plain fleet experiment's serving run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cloud import (
+    AdmissionController,
+    BatchPolicy,
+    RobotTenant,
+    TenantSpec,
+    TenantStats,
+    WorkerPool,
+    make_balancer,
+    make_scheduler,
+)
+from repro.compute.host import Host
+from repro.compute.platform import CLOUD_SERVER, TURTLEBOT3_PI
+from repro.control.velocity_law import max_velocity_oa
+from repro.experiments.fleet_scale import (
+    _build_radio,
+    _jsonable,
+    _tenant_name,
+)
+from repro.extensions.fleet import FleetServerModel
+from repro.hybrid.background import FluidBackground
+from repro.network.fabric import FleetRadioNetwork
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class HybridOutcome:
+    """One hybrid serving run under one admission policy."""
+
+    policy: str  # "admission" | "admit-all"
+    n_tenants: int
+    focal: int
+    # focal half (measured)
+    focal_admitted: int
+    focal_downgraded: int
+    focal_rejected: int
+    ticks: int
+    served: int
+    lost: int
+    worst_focal_p95_s: float
+    focal_deadline_ok: bool
+    # background half (fluid)
+    bg_admitted: int
+    bg_downgraded: int
+    bg_rejected: int
+    bg_demand_cores: float
+    cal_ratio: float
+    bg_p95_s: float
+    bg_deadline_ok: bool
+    # pool-wide
+    utilization: float
+    batches: int
+    batched_requests: int
+    duplicate_completions: int
+    tenants: tuple[TenantStats, ...]
+
+    @property
+    def deadline_ok(self) -> bool:
+        """Both halves hold: measured focal and projected background."""
+        return self.focal_deadline_ok and self.bg_deadline_ok
+
+    @property
+    def admitted(self) -> int:
+        """Total admitted tenants, focal + fluid."""
+        return self.focal_admitted + self.bg_admitted
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean requests per executed batch (NaN when unbatched)."""
+        if self.batches == 0:
+            return math.nan
+        return self.batched_requests / self.batches
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    """Both policies at one hybrid fleet size."""
+
+    tenants: int
+    focal: int
+    workers: int
+    scheduler: str
+    balancer: str
+    seed: int
+    sim_time_s: float
+    tick_rate_hz: float
+    threads: int
+    local_vdp_s: float
+    calibrated_t_iso_s: float
+    batching: BatchPolicy | None
+    admission: HybridOutcome
+    admit_all: HybridOutcome
+
+    def render(self) -> str:
+        pol = self.batching
+        batch_line = (
+            f"batching max_size={pol.max_size} max_wait={pol.max_wait_s * 1e3:.0f} ms "
+            f"amortization={pol.amortization:.2f}"
+            if pol is not None
+            else "batching off"
+        )
+        lines = [
+            f"Hybrid fleet: N={self.tenants} tenants ({self.focal} focal DES, "
+            f"{self.tenants - self.focal} fluid) on {self.workers} x "
+            f"{CLOUD_SERVER.name}, {self.scheduler} scheduler, {batch_line}",
+            f"  calibrated t_iso {self.calibrated_t_iso_s:.4f} s "
+            f"({self.tick_rate_hz:.0f} Hz ticks, deadline "
+            f"{1.0 / self.tick_rate_hz:.2f} s)",
+        ]
+        for o in (self.admission, self.admit_all):
+            occ = (
+                f", batch occupancy {o.batch_occupancy:.2f}"
+                if o.batches
+                else ""
+            )
+            lines.append(
+                f"  {o.policy}: admitted {o.admitted}/{o.n_tenants} "
+                f"(focal {o.focal_admitted}/{o.focal}, "
+                f"fluid {o.bg_admitted}/{o.n_tenants - o.focal}); "
+                f"util {o.utilization:.2f}, focal p95 "
+                f"{o.worst_focal_p95_s:.3f} s, fluid p95 {o.bg_p95_s:.3f} s "
+                f"-> {'ok' if o.deadline_ok else 'DEADLINE BLOWN'}{occ}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        pol = self.batching
+        return {
+            "meta": {
+                "tenants": self.tenants,
+                "focal": self.focal,
+                "workers": self.workers,
+                "scheduler": self.scheduler,
+                "balancer": self.balancer,
+                "seed": self.seed,
+                "sim_time_s": self.sim_time_s,
+                "tick_rate_hz": self.tick_rate_hz,
+                "threads": self.threads,
+                "local_vdp_s": self.local_vdp_s,
+                "calibrated_t_iso_s": self.calibrated_t_iso_s,
+                "server": CLOUD_SERVER.name,
+                "batching": (
+                    {
+                        "max_size": pol.max_size,
+                        "max_wait_s": pol.max_wait_s,
+                        "amortization": pol.amortization,
+                        "deadline_guard_s": pol.deadline_guard_s,
+                    }
+                    if pol is not None
+                    else None
+                ),
+            },
+            "policies": {
+                o.policy: {
+                    "n_tenants": o.n_tenants,
+                    "focal": o.focal,
+                    "focal_admitted": o.focal_admitted,
+                    "focal_downgraded": o.focal_downgraded,
+                    "focal_rejected": o.focal_rejected,
+                    "ticks": o.ticks,
+                    "served": o.served,
+                    "lost": o.lost,
+                    "worst_focal_p95_s": _jsonable(o.worst_focal_p95_s),
+                    "focal_deadline_ok": o.focal_deadline_ok,
+                    "bg_admitted": o.bg_admitted,
+                    "bg_downgraded": o.bg_downgraded,
+                    "bg_rejected": o.bg_rejected,
+                    "bg_demand_cores": o.bg_demand_cores,
+                    "cal_ratio": o.cal_ratio,
+                    "bg_p95_s": _jsonable(o.bg_p95_s),
+                    "bg_deadline_ok": o.bg_deadline_ok,
+                    "utilization": o.utilization,
+                    "batches": o.batches,
+                    "batched_requests": o.batched_requests,
+                    "batch_occupancy": _jsonable(o.batch_occupancy),
+                    "duplicate_completions": o.duplicate_completions,
+                    "deadline_ok": o.deadline_ok,
+                    "tenants": [
+                        {
+                            "tenant": t.tenant,
+                            "threads": t.threads,
+                            "ticks": t.ticks,
+                            "served": t.served,
+                            "lost": t.lost,
+                            "mean_latency_s": _jsonable(t.mean_latency_s),
+                            "p95_latency_s": _jsonable(t.p95_latency_s),
+                            "deadline_miss_rate": _jsonable(
+                                t.deadline_miss_rate
+                            ),
+                            "velocity_mps": _jsonable(t.velocity_mps),
+                        }
+                        for t in o.tenants
+                    ],
+                }
+                for o in (self.admission, self.admit_all)
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, so equal runs are bit-identical."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+        return path
+
+
+# ----------------------------------------------------------------------
+# One hybrid serving run
+# ----------------------------------------------------------------------
+def serve_hybrid_point(
+    n_tenants: int,
+    focal: int,
+    workers: int,
+    scheduler: str,
+    balancer: str,
+    admission: bool,
+    sim_time_s: float,
+    tick_rate_hz: float,
+    cycles: float,
+    threads: int,
+    local_vdp_s: float,
+    wired_latency_s: float,
+    seed: int,
+    use_radio: bool,
+    telemetry: "Telemetry | None",
+    batching: BatchPolicy | None = None,
+    model: FleetServerModel | None = None,
+    recalibrate_every_s: float = 1.0,
+    jitter: float = 0.0,
+) -> HybridOutcome:
+    """One hybrid fleet size under one policy; a fresh simulator.
+
+    Structured to shadow
+    :func:`repro.experiments.fleet_scale.serve_fleet_point` statement
+    for statement on the focal path, so ``n_tenants == focal`` (and no
+    batching) replays the plain fleet serving run event for event —
+    the byte-identity contract ``tests/test_hybrid.py`` pins.
+    """
+    if not 0 < focal <= n_tenants:
+        raise ValueError(
+            f"need 0 < focal <= tenants, got focal={focal} tenants={n_tenants}"
+        )
+    sim = Simulator()
+    hosts = [Host(f"cloud-vm{i}", CLOUD_SERVER) for i in range(workers)]
+    pool = WorkerPool(
+        sim,
+        hosts,
+        make_scheduler(scheduler),
+        make_balancer(balancer),
+        telemetry=telemetry,
+        batching=batching,
+    )
+    controller = AdmissionController(
+        pool, network_latency_s=wired_latency_s, telemetry=telemetry
+    )
+    radio: FleetRadioNetwork | None = None
+    if use_radio:
+        radio, positions = _build_radio(focal, wired_latency_s, seed)
+
+    period = 1.0 / tick_rate_hz
+    tenants: list[RobotTenant] = []
+    stats: list[TenantStats] = []
+    rejected = downgraded = 0
+    v_local = max_velocity_oa(local_vdp_s, hardware_cap=1.0)
+    for i in range(focal):
+        spec = TenantSpec(
+            _tenant_name(i), cycles, threads, tick_rate_hz, local_vdp_s
+        )
+        if admission:
+            decision = controller.request_admission(spec)
+            if not decision.admitted:
+                rejected += 1
+                stats.append(
+                    TenantStats(
+                        tenant=spec.name,
+                        threads=0,
+                        ticks=0,
+                        served=0,
+                        lost=0,
+                        mean_latency_s=local_vdp_s,
+                        p95_latency_s=local_vdp_s,
+                        deadline_miss_rate=0.0,
+                        velocity_mps=v_local,
+                    )
+                )
+                continue
+            if decision.downgraded:
+                downgraded += 1
+            granted = controller.admitted[spec.name]
+        else:
+            granted = spec
+        if radio is not None:
+            radio.attach(spec.name, positions[spec.name])
+        tenants.append(
+            RobotTenant(
+                sim,
+                granted,
+                pool,
+                radio=radio,
+                # Focal tenants keep the phases they would have in the
+                # full-DES fleet of the same size N, so their burst
+                # pattern matches the run they stand in for.
+                phase_s=(i / n_tenants) * period,
+                telemetry=telemetry,
+            )
+        )
+    bg_spec = TenantSpec(
+        "background", cycles, threads, tick_rate_hz, local_vdp_s
+    )
+    background = FluidBackground(
+        sim,
+        pool,
+        bg_spec,
+        n_tenants - focal,
+        controller=controller if admission else None,
+        model=model,
+        recalibrate_every_s=recalibrate_every_s,
+        jitter=jitter,
+        seed=seed,
+        telemetry=telemetry,
+    )
+    bg_admission = background.attach()
+    for t in tenants:
+        t.start()
+    sim.run(until=sim_time_s)
+
+    focal_stats = [t.stats() for t in tenants]
+    stats.extend(focal_stats)
+    served_p95s = [s.p95_latency_s for s in focal_stats if s.served > 0]
+    deadline = period
+    focal_ok = bool(focal_stats) and all(
+        s.served > 0 and s.p95_latency_s <= deadline for s in focal_stats
+    )
+    batches, batched_requests = pool.batch_stats()
+    return HybridOutcome(
+        policy="admission" if admission else "admit-all",
+        n_tenants=n_tenants,
+        focal=focal,
+        focal_admitted=len(tenants),
+        focal_downgraded=downgraded,
+        focal_rejected=rejected,
+        ticks=sum(s.ticks for s in focal_stats),
+        served=sum(s.served for s in focal_stats),
+        lost=sum(s.lost for s in focal_stats),
+        worst_focal_p95_s=max(served_p95s) if served_p95s else math.nan,
+        focal_deadline_ok=focal_ok,
+        bg_admitted=bg_admission.admitted,
+        bg_downgraded=bg_admission.downgraded,
+        bg_rejected=bg_admission.rejected,
+        bg_demand_cores=bg_admission.demand_cores,
+        cal_ratio=background.cal_ratio,
+        bg_p95_s=background.p95_s(wired_latency_s),
+        bg_deadline_ok=background.deadline_ok(),
+        utilization=pool.utilization(sim.now()),
+        batches=batches,
+        batched_requests=batched_requests,
+        duplicate_completions=pool.duplicate_completions,
+        tenants=tuple(sorted(stats, key=lambda s: s.tenant)),
+    )
+
+
+def run_fleet_hybrid(
+    tenants: int = 10_000,
+    focal: int = 8,
+    workers: int = 2,
+    scheduler: str = "ps",
+    balancer: str = "least-loaded",
+    sim_time_s: float = 20.0,
+    tick_rate_hz: float = 5.0,
+    vdp_cycles: float = 1.4e9,
+    threads: int = 8,
+    wired_latency_s: float = 0.02,
+    seed: int = 0,
+    use_radio: bool = True,
+    telemetry: "Telemetry | None" = None,
+    batching: BatchPolicy | None = None,
+    recalibrate_every_s: float = 1.0,
+    jitter: float = 0.0,
+) -> HybridResult:
+    """The hybrid fleet experiment at one (N, K) point, both policies.
+
+    The fluid model is first fitted from a short DES run
+    (:meth:`~repro.extensions.fleet.FleetServerModel.calibrate_from_des`)
+    and then re-calibrated every ``recalibrate_every_s`` virtual
+    seconds from the focal tenants' observed service times.
+    Deterministic: same arguments -> bit-identical
+    :meth:`HybridResult.to_json`, regardless of ``PYTHONHASHSEED``.
+    """
+    local_vdp_s = vdp_cycles / TURTLEBOT3_PI.effective_hz
+    model = FleetServerModel.calibrate_from_des(
+        server=CLOUD_SERVER,
+        vdp_cycles=vdp_cycles,
+        threads=threads,
+        tick_rate_hz=tick_rate_hz,
+        network_latency_s=wired_latency_s,
+    )
+    outcomes = {}
+    for admission in (True, False):
+        outcomes[admission] = serve_hybrid_point(
+            tenants,
+            focal,
+            workers,
+            scheduler,
+            balancer,
+            admission,
+            sim_time_s,
+            tick_rate_hz,
+            vdp_cycles,
+            threads,
+            local_vdp_s,
+            wired_latency_s,
+            seed,
+            use_radio,
+            telemetry,
+            batching=batching,
+            model=model,
+            recalibrate_every_s=recalibrate_every_s,
+            jitter=jitter,
+        )
+    assert model.calibrated_t_iso_s is not None
+    return HybridResult(
+        tenants=tenants,
+        focal=focal,
+        workers=workers,
+        scheduler=scheduler,
+        balancer=balancer,
+        seed=seed,
+        sim_time_s=sim_time_s,
+        tick_rate_hz=tick_rate_hz,
+        threads=threads,
+        local_vdp_s=local_vdp_s,
+        calibrated_t_iso_s=model.calibrated_t_iso_s,
+        batching=batching,
+        admission=outcomes[True],
+        admit_all=outcomes[False],
+    )
