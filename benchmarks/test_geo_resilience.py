@@ -1,0 +1,77 @@
+"""Geo-resilience benchmark: multi-site serving under mobility + outage.
+
+Regenerates the urban-coverage-map matrix — a 3-site triangle city
+with a fleet of driving tenants — across three cells (clean overlap
+driving, one site killed mid-run, a dead-zone coverage map) and
+commits the result as ``BENCH_geo_resilience.json`` at the repo root.
+The run demonstrates the acceptance claims of the sites layer: no
+tenant is ever stranded (every robot keeps getting served somewhere,
+with a bounded worst service gap), mobility handoffs commit as
+tens-of-milliseconds 2PC pauses rather than lease-expiry seconds, the
+site outage actually exercises the evacuate/degrade/re-offload
+recovery ladder, and the exactly-once contract holds across every
+cross-pool migration (zero duplicate completions, anywhere).
+"""
+
+from pathlib import Path
+
+from benchmarks.conftest import render
+from repro.experiments import run_geo
+
+ROBOTS = 6
+SIM_TIME_S = 90.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_geo_resilience.json"
+
+
+def test_geo_resilience(benchmark):
+    result = benchmark.pedantic(
+        run_geo,
+        kwargs={"robots": ROBOTS, "sim_time_s": SIM_TIME_S},
+        rounds=1,
+        iterations=1,
+    )
+    render(result)
+    RESULT_PATH.write_text(result.to_json(), encoding="utf-8")
+    print(f"\n[geo resilience matrix written to {RESULT_PATH}]")
+
+    # determinism: the artifact is a pure function of the seed
+    again = run_geo(robots=ROBOTS, sim_time_s=SIM_TIME_S)
+    assert again.to_json() == result.to_json()
+
+    # the headline claim: every cell survives
+    assert result.resilient
+    for cell in result.cells:
+        assert cell.no_stranded
+        assert cell.duplicate_completions == 0
+        assert all(not t.stranded for t in cell.tenants)
+
+    # clean driving hands off via 2PC: committed pauses in the tens of
+    # milliseconds. The lease path is the backstop, not the mechanism —
+    # at most a rare coverage-fringe transition falls through to it,
+    # and every expiry is recovered by an evacuation.
+    baseline = result.cell("baseline")
+    assert baseline.handoffs >= ROBOTS  # every driver crosses cells
+    assert baseline.commits >= baseline.handoffs
+    assert baseline.lease_expiries <= baseline.handoffs // 10
+    assert baseline.evacuations == baseline.lease_expiries
+    assert 0.0 < baseline.max_handoff_pause_s < 0.5
+
+    # killing a site mid-run forces the recovery ladder into action
+    outage = result.cell("site_outage")
+    assert outage.outage_site == "siteB"
+    assert outage.evacuations + outage.degradations >= 1
+    assert outage.reoffloads >= 1  # tenants come back after the clear
+    assert outage.max_service_gap_s <= result.gap_bound_s
+
+    # shrinking coverage opens dead zones: the ladder degrades to
+    # local serving in the gaps and re-offloads on re-entry
+    dead = result.cell("dead_zone")
+    assert dead.degradations >= ROBOTS
+    assert dead.reoffloads >= ROBOTS
+    assert any(t.local_served > 0 for t in dead.tenants)
+
+    # the deadline-survival curve never flatlines: some traffic is
+    # served inside the deadline in every occupied bin of every cell
+    for cell in result.cells:
+        fractions = [f for _, f in cell.survival if f is not None]
+        assert fractions and max(fractions) > 0.5

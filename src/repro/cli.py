@@ -38,6 +38,7 @@ from repro.experiments import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_geo,
     run_recovery,
     run_table1,
     run_table2,
@@ -61,6 +62,7 @@ ARTIFACTS: dict[str, tuple[Callable[..., object], str]] = {
     "chaos": (run_chaos, "single-fault chaos matrix, adaptive vs static (~4 min)"),
     "recover": (run_recovery, "chaos-recovery cells with repro.recovery attached (~2 min)"),
     "fleet": (run_fleet, "fleet capacity curve: admission control vs admit-all"),
+    "geo": (run_geo, "geo-distributed multi-site serving with mobility handoff (~1 min)"),
     "ablation-netqual": (run_ablation_netqual_metric, "Algorithm 2 vs latency threshold"),
     "ablation-granularity": (run_ablation_migration_granularity, "fine-grained vs whole offload"),
     "ablation-velocity": (run_ablation_velocity_adaptation, "Eq. 2c on/off"),
@@ -188,6 +190,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="marginal cost fraction of each extra batched request "
         "(default: 0.25)",
     )
+    geo = parser.add_argument_group("geo", "options for the 'geo' artifact")
+    geo.add_argument(
+        "--geo-out",
+        metavar="PATH",
+        default=None,
+        help="write the geo-resilience matrix as canonical JSON",
+    )
+    geo.add_argument(
+        "--geo-robots",
+        type=int,
+        default=6,
+        metavar="K",
+        help="vehicles looping the triangle city (default: 6)",
+    )
+    geo.add_argument(
+        "--geo-background",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fluid background tenants split across the site pools "
+        "(default: 0, off)",
+    )
     recover = parser.add_argument_group("recover", "options for the 'recover' artifact")
     recover.add_argument(
         "--recover-out",
@@ -286,6 +310,12 @@ def main(argv: list[str] | None = None) -> int:
                 "seed": args.seed,
                 "batching": batching,
             }
+        elif name == "geo":
+            kwargs = {
+                "robots": args.geo_robots,
+                "seed": args.seed,
+                "background": args.geo_background,
+            }
         if tel is not None:
             kwargs["telemetry"] = tel
         print(f"\n######## {name} ########")
@@ -300,6 +330,9 @@ def main(argv: list[str] | None = None) -> int:
         if name == "recover" and args.recover_out:
             p = result.write_json(args.recover_out)
             print(f"[chaos-recovery JSON written to {p}]")
+        if name == "geo" and args.geo_out:
+            p = result.write_json(args.geo_out)
+            print(f"[geo-resilience JSON written to {p}]")
         if name == "fig9" and args.fig9_out:
             p = result.write_json(args.fig9_out)
             print(f"[fig9 sweep JSON written to {p}]")

@@ -88,6 +88,12 @@ class AdmissionController:
     network_latency_s: float = 0.02
     p95_factor: float = 1.25
     max_utilization: float = 0.9
+    #: Extra utilization headroom granted to *surge* admissions —
+    #: evacuees arriving because their previous site died
+    #: (:mod:`repro.sites`). A neighbor site absorbing an outage is
+    #: briefly allowed past the steady-state gate; the deadline and
+    #: Eq. 2c tests still apply, so a surge admit is still worth having.
+    surge_headroom: float = 0.08
     telemetry: "Telemetry | None" = None
     #: Fluid background demand (repro.hybrid), in core-seconds per
     #: second, counted alongside the admitted tenants' demand in every
@@ -135,15 +141,25 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # The gate
     # ------------------------------------------------------------------
-    def request_admission(self, spec: TenantSpec) -> AdmissionDecision:
-        """Admit at the requested width, a downgraded one, or reject."""
+    def request_admission(
+        self, spec: TenantSpec, *, surge: bool = False
+    ) -> AdmissionDecision:
+        """Admit at the requested width, a downgraded one, or reject.
+
+        ``surge=True`` marks an evacuation admit (the tenant's previous
+        serving site just died): the utilization gate relaxes by
+        :attr:`surge_headroom` so a healthy neighbor can absorb the
+        refugee load, while the per-tenant deadline and Eq. 2c tests
+        stay as strict as ever.
+        """
         if not self.pool.live_workers():
             return self._decide(spec, False, spec.threads, "no live workers",
                                 float("inf"), 0.0)
+        limit = self.max_utilization + (self.surge_headroom if surge else 0.0)
         v_local = max_velocity_oa(spec.local_vdp_s, hardware_cap=1.0)
         for threads in self._width_ladder(spec.threads):
             util = self.projected_utilization((spec, threads))
-            if util > self.max_utilization:
+            if util > limit:
                 continue
             p95 = self.projected_p95(spec, threads, util)
             v = max_velocity_oa(p95, hardware_cap=1.0)

@@ -23,6 +23,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.chaos import run_chaos
 from repro.experiments.fleet_scale import run_fleet, run_fleet_chaos
+from repro.experiments.geo import run_geo
 from repro.experiments.recover import run_recovery
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "run_recovery",
     "run_fleet",
     "run_fleet_chaos",
+    "run_geo",
     "run_table1",
     "run_table2",
     "run_table3",

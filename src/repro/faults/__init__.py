@@ -15,6 +15,7 @@ from repro.faults.plan import (
     PacketMangling,
     ServerCrash,
     ServerSlowdown,
+    SiteOutage,
     WapDeath,
     WindowFault,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "PacketMangling",
     "ServerCrash",
     "ServerSlowdown",
+    "SiteOutage",
     "WapDeath",
     "WindowFault",
 ]

@@ -30,6 +30,7 @@ from repro.faults.plan import (
     PacketMangling,
     ServerCrash,
     ServerSlowdown,
+    SiteOutage,
     WapDeath,
 )
 from repro.middleware.graph import Graph
@@ -40,6 +41,7 @@ from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cloud.pool import WorkerPool
+    from repro.sites.topology import SiteTopology
     from repro.telemetry import Telemetry
 
 
@@ -67,6 +69,10 @@ class FaultInjector:
         request the dead worker held is re-placed on the survivors —
         and a restart drains any backlog parked while everything was
         down.
+    topology:
+        Optional :class:`repro.sites.topology.SiteTopology`. Required
+        for ``SiteOutage`` faults; also lets a ``ServerCrash`` on a
+        site worker drive that site's pool rebalance path.
     telemetry:
         Optional event sink; defaults to ``sim.telemetry``.
     """
@@ -82,6 +88,7 @@ class FaultInjector:
         lgv_host: Host | None = None,
         server_hosts: tuple[Host, ...],
         pool: "WorkerPool | None" = None,
+        topology: "SiteTopology | None" = None,
         telemetry: "Telemetry | None" = None,
     ) -> None:
         self.sim = sim
@@ -92,6 +99,7 @@ class FaultInjector:
         self.lgv_host = lgv_host
         self.server_hosts = tuple(server_hosts)
         self.pool = pool
+        self.topology = topology
         self.telemetry = telemetry if telemetry is not None else sim.telemetry
         #: Phase changes as ``(virtual_time, phase, fault_kind)`` with
         #: phase in {"injected", "cleared"}.
@@ -137,6 +145,31 @@ class FaultInjector:
             plan,
             server_hosts=pool.worker_hosts(),
             pool=pool,
+            telemetry=telemetry,
+        )
+
+    @classmethod
+    def for_sites(
+        cls, plan: FaultPlan, topology, telemetry: "Telemetry | None" = None
+    ) -> FaultInjector:
+        """Build an injector targeting a :mod:`repro.sites` city.
+
+        ``SiteOutage`` resolves against the topology's sites; server
+        faults resolve against every site's gateway and pool workers
+        (crashes on workers drive the owning pool's rebalance path).
+        Single-link network faults need a specific injection point a
+        multi-site city does not have, so plans containing them are
+        rejected at :meth:`arm`.
+        """
+        hosts: list[Host] = []
+        for s in topology.sites:
+            hosts.append(s.gateway)
+            hosts.extend(s.pool.worker_hosts())
+        return cls(
+            topology.sites[0].sim,
+            plan,
+            server_hosts=tuple(hosts),
+            topology=topology,
             telemetry=telemetry,
         )
 
@@ -188,6 +221,9 @@ class FaultInjector:
         if isinstance(f, MigrationInterrupt):
             self._require(f, graph=self.graph, fabric=self.fabric)
             return self._migration_interrupt(f)
+        if isinstance(f, SiteOutage):
+            self._require(f, topology=self.topology)
+            return self._site_outage(f)
         raise TypeError(f"no handler for fault {f!r}")
 
     def _require(self, f: Fault, **components) -> None:
@@ -273,9 +309,10 @@ class FaultInjector:
                             frozen.append(name)
             # Pool-mediated serving: the crash triggers the rebalance
             # path — everything the dead worker held is re-placed.
-            if self.pool is not None:
-                for h in hosts:
-                    self.pool.on_worker_down(h)
+            for h in hosts:
+                pool = self._host_pool(h)
+                if pool is not None:
+                    pool.on_worker_down(h)
             self._emit(
                 "injected",
                 f,
@@ -294,9 +331,10 @@ class FaultInjector:
                     if node is not None and node._paused and node.host in hosts:
                         self.graph.resume_node(name)
             frozen.clear()
-            if self.pool is not None:
-                for h in hosts:
-                    self.pool.on_worker_up(h)
+            for h in hosts:
+                pool = self._host_pool(h)
+                if pool is not None:
+                    pool.on_worker_up(h)
             self._emit("cleared", f, hosts=[h.name for h in hosts])
 
         if f.restart_after != float("inf"):
@@ -367,9 +405,41 @@ class FaultInjector:
 
         return apply, None
 
+    def _site_outage(self, f: SiteOutage):
+        site = self.topology.site(f.site)  # KeyError for unknown sites
+
+        def apply() -> None:
+            site.radio.set_blocked(True)
+            site.gateway.up = False
+            for h in site.pool.worker_hosts():
+                h.up = False
+                site.pool.on_worker_down(h)
+            self._emit("injected", f, site=f.site, duration=f.duration)
+
+        def clear() -> None:
+            site.gateway.up = True
+            for h in site.pool.worker_hosts():
+                h.up = True
+                site.pool.on_worker_up(h)
+            site.radio.set_blocked(False)
+            site.radio.flush_held(self.sim.now())
+            self._emit("cleared", f, site=f.site)
+
+        return apply, clear
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _host_pool(self, h: Host) -> "WorkerPool | None":
+        """The pool whose rebalance path a crash of ``h`` should drive."""
+        if self.pool is not None and h in self.pool.worker_hosts():
+            return self.pool
+        if self.topology is not None:
+            for s in self.topology.sites:
+                if h in s.pool.worker_hosts():
+                    return s.pool
+        return None
+
     def _target_hosts(self, name: str | None) -> tuple[Host, ...]:
         if name is None:
             return self.server_hosts

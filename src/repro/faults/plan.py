@@ -36,6 +36,10 @@ fault                     models
                           mid-flight and must restart: one migration pays
                           the lost fraction plus a control-plane round
                           trip.
+:class:`SiteOutage`       an entire edge site goes dark — its radio
+                          (:class:`WapDeath` semantics on every link),
+                          gateway, and all pool workers
+                          (:class:`ServerCrash` each) — for the window.
 ========================  ==================================================
 """
 
@@ -210,6 +214,31 @@ class MigrationInterrupt(Fault):
             raise ValueError(
                 f"at_fraction must be in (0, 1), got {self.at_fraction}"
             )
+
+
+@dataclass(frozen=True)
+class SiteOutage(WindowFault):
+    """An entire edge site goes dark: radio, gateway, and every worker.
+
+    The composite site-level fault for :mod:`repro.sites` cities. For
+    the window the site's radio blocks every tenant link (data *and*
+    control, :class:`WapDeath` semantics, so heartbeats fall silent and
+    leases expire honestly), the gateway refuses backhaul traffic (2PC
+    phases touching it burn their timeout budgets), and every pool
+    worker crashes (:class:`ServerCrash` semantics, in-flight requests
+    dropped). Clearing restores the site cold: hosts come back up, the
+    radio unblocks and drains held packets — but evacuated tenants only
+    return when the selector re-ranks the site.
+    """
+
+    site: str = ""
+
+    kind = "site_outage"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.site:
+            raise ValueError("SiteOutage needs a site name")
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ byte-identical to a plain fleet run (pinned in ``tests/test_hybrid.py``).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from repro.cloud.admission import AdmissionController, TenantSpec
@@ -78,6 +79,17 @@ class FluidBackground:
         Fractional demand fluctuation per re-calibration, drawn
         uniformly from ``[-jitter, +jitter]`` with a generator seeded
         from ``seed`` — deterministic across runs.
+    pools, controllers:
+        Optional multi-pool mode (a :mod:`repro.sites` city): the
+        admitted demand is split across ``pools`` proportional to each
+        pool's live capacity, and each pool's share is mirrored into
+        the matching entry of ``controllers`` (``None`` entries
+        allowed). ``pool`` must be ``pools[0]`` — it stays the
+        reference for admission width and fluid projections. With one
+        pool (or ``pools`` omitted) every code path is identical to
+        the single-pool build. Capacity changes (a site outage, an
+        autoscaler step) re-split on the next re-calibration tick, or
+        immediately via :meth:`rebalance`.
     """
 
     def __init__(
@@ -92,6 +104,8 @@ class FluidBackground:
         jitter: float = 0.0,
         seed: int = 0,
         telemetry: "Telemetry | None" = None,
+        pools: "Sequence[WorkerPool] | None" = None,
+        controllers: "Sequence[AdmissionController | None] | None" = None,
     ) -> None:
         if n_tenants < 0:
             raise ValueError(f"n_tenants must be non-negative, got {n_tenants}")
@@ -102,6 +116,21 @@ class FluidBackground:
         self.spec = spec
         self.n_tenants = n_tenants
         self.controller = controller
+        self.pools: tuple[WorkerPool, ...] = (
+            tuple(pools) if pools is not None else (pool,)
+        )
+        if not self.pools or self.pools[0] is not pool:
+            raise ValueError("pools[0] must be the primary pool")
+        self.controllers: tuple[AdmissionController | None, ...] = (
+            tuple(controllers)
+            if controllers is not None
+            else (controller,) + (None,) * (len(self.pools) - 1)
+        )
+        if len(self.controllers) != len(self.pools):
+            raise ValueError(
+                f"controllers length {len(self.controllers)} != "
+                f"pools length {len(self.pools)}"
+            )
         self.recalibrate_every_s = recalibrate_every_s
         self.jitter = jitter
         self.telemetry = telemetry
@@ -125,6 +154,7 @@ class FluidBackground:
             ).t_iso_s()
             if analytic > 0:
                 self.cal_ratio = model.calibrated_t_iso_s / analytic
+        self._last_demand = 0.0
         self._proc: Process | None = None
 
     # ------------------------------------------------------------------
@@ -178,13 +208,35 @@ class FluidBackground:
     # Calibration loop
     # ------------------------------------------------------------------
     def _impose(self, cores: float) -> None:
-        self.pool.set_background_demand(cores)
-        if self.controller is not None:
-            self.controller.background_demand_cores = cores
+        self._last_demand = cores
+        if len(self.pools) == 1:
+            self.pool.set_background_demand(cores)
+            if self.controller is not None:
+                self.controller.background_demand_cores = cores
+            return
+        # Multi-pool: split proportional to live capacity, so a dead
+        # site's share flows to the survivors instead of evaporating.
+        caps = [p.total_capacity() for p in self.pools]
+        total = sum(caps)
+        for p, ctl, cap in zip(self.pools, self.controllers, caps):
+            share = cores * cap / total if total > 0 else 0.0
+            p.set_background_demand(share)
+            if ctl is not None:
+                ctl.background_demand_cores = share
+
+    def rebalance(self) -> None:
+        """Re-split the imposed demand now (after a capacity change)."""
+        if self.n_tenants > 0:
+            self._impose(self._last_demand)
 
     def _recalibrate(self) -> None:
         """Re-fit the fluid rate from observed DES service times."""
-        obs_s, pred_s, n = self.pool.observed_iso_stats()
+        obs_s, pred_s, n = 0.0, 0.0, 0
+        for p in self.pools:
+            o, pr, k = p.observed_iso_stats()
+            obs_s += o
+            pred_s += pr
+            n += k
         if n >= _MIN_CALIBRATION_SAMPLES and pred_s > 0:
             self.cal_ratio = obs_s / pred_s
         demand = self.base_demand_cores * self.cal_ratio

@@ -16,12 +16,14 @@ from typing import TYPE_CHECKING
 from repro.sim.rng import seeded_rng
 
 from repro.compute.host import Host
-from repro.network.link import WirelessLink
+from repro.network.link import PositionProvider, WirelessLink
 from repro.network.signal import WapSite
 from repro.network.tcp import ReliableChannel
 from repro.network.udp import UdpChannel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from repro.obs.context import TraceContext
     from repro.obs.tracing import RequestTracer
 
@@ -197,29 +199,88 @@ class FleetRadioNetwork:
         self.waps = tuple(waps)
         self.wired_latency_s = wired_latency_s
         self.seed = seed
+        self.blocked = False
         self._links: dict[str, WirelessLink] = {}
         self._uplinks: dict[str, UdpChannel] = {}
         self._downlinks: dict[str, UdpChannel] = {}
+        #: RNG streams of detached tenants, keyed by name. A re-attach
+        #: resumes the parked stream instead of re-deriving it, so
+        #: detach + re-attach draws the same fading sequence an
+        #: uninterrupted association would have.
+        self._parked_rng: dict[str, "np.random.Generator"] = {}
 
     def attach(
         self,
         tenant: str,
-        xy: tuple[float, float],
+        xy: tuple[float, float] | PositionProvider,
         seed: int | None = None,
     ) -> WirelessLink:
-        """Associate ``tenant`` (parked at ``xy``) with its nearest WAP."""
+        """Associate ``tenant`` with the WAP nearest its position.
+
+        ``xy`` is either a fixed ``(x, y)`` (a parked tenant) or a
+        zero-arg callable returning the current position — a driving
+        tenant's signal quality then tracks its motion packet by
+        packet instead of freezing at the attach-time location.
+
+        A tenant previously removed with :meth:`detach` resumes its
+        parked RNG stream; otherwise the stream derives from the
+        fabric seed and the tenant's (stable) name hash.
+        """
         if tenant in self._links:
             raise ValueError(f"tenant {tenant!r} already attached")
-        wap = min(self.waps, key=lambda w: w.distance_to(*xy))
-        if seed is None:
-            seed = (self.seed * 2654435761 + zlib.crc32(tenant.encode())) % 2**31
-        link = WirelessLink(
-            wap, lambda: xy, seeded_rng(seed)
-        )
+        if callable(xy):
+            position: PositionProvider = xy
+        else:
+            fixed = (xy[0], xy[1])
+            position = lambda: fixed  # noqa: E731
+        wap = min(self.waps, key=lambda w: w.distance_to(*position()))
+        rng = self._parked_rng.pop(tenant, None)
+        if rng is None:
+            if seed is None:
+                seed = (self.seed * 2654435761 + zlib.crc32(tenant.encode())) % 2**31
+            rng = seeded_rng(seed)
+        link = WirelessLink(wap, position, rng)
+        link.fault_blocked = self.blocked
         self._links[tenant] = link
         self._uplinks[tenant] = UdpChannel(link)
         self._downlinks[tenant] = UdpChannel(link)
         return link
+
+    def detach(self, tenant: str) -> None:
+        """Dissociate ``tenant``, parking its RNG stream for re-attach.
+
+        Any packets the kernel was holding for the tenant are dropped
+        with the association (the kernel buffer does not survive a
+        dissociation). Detaching an unknown tenant raises ``KeyError``.
+        """
+        link = self._links.pop(tenant)
+        del self._uplinks[tenant]
+        del self._downlinks[tenant]
+        self._parked_rng[tenant] = link.rng
+
+    def reassociate(self, tenant: str) -> WirelessLink:
+        """Re-pick the nearest WAP for a moving tenant, keeping its stream.
+
+        Mutates the existing link in place (channels keep working) so
+        the fading RNG and in-flight kernel holds are untouched.
+        Returns the link; ``link.wap`` tells the caller whether the
+        association actually moved.
+        """
+        link = self._links[tenant]
+        wap = min(self.waps, key=lambda w: w.distance_to(*link.position()))
+        if wap is not link.wap:
+            link.wap = wap
+        return link
+
+    def set_blocked(self, blocked: bool) -> None:
+        """Kill (or revive) every radio in this network — a site outage.
+
+        Applies to currently attached tenants and to any attached
+        later while the block holds.
+        """
+        self.blocked = blocked
+        for link in self._links.values():
+            link.fault_blocked = blocked
 
     def link(self, tenant: str) -> WirelessLink:
         """The tenant's radio (fault-injection / inspection handle)."""

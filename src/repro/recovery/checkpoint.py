@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.middleware.node import Node
+from repro.recovery.contracts import MigratableNode
 
 
 @dataclass(frozen=True)
@@ -45,7 +45,7 @@ class CheckpointStore:
         self._by_node: dict[str, list[Checkpoint]] = {}
         self.commits = 0
 
-    def commit(self, node: Node, state: object | None, t: float) -> Checkpoint:
+    def commit(self, node: MigratableNode, state: object | None, t: float) -> Checkpoint:
         """Commit ``state`` for ``node`` at time ``t``; bumps its version."""
         node.state_version += 1
         cp = Checkpoint(
@@ -70,7 +70,7 @@ class CheckpointStore:
         """Retained version numbers for ``name``, oldest first."""
         return tuple(cp.version for cp in self._by_node.get(name, ()))
 
-    def restore_latest(self, node: Node) -> Checkpoint | None:
+    def restore_latest(self, node: MigratableNode) -> Checkpoint | None:
         """Restore ``node`` from its newest checkpoint; None if it has none.
 
         Idempotent by contract of :meth:`Node.restore` — safe to call

@@ -1,0 +1,94 @@
+"""Structural contracts the recovery machinery actually depends on.
+
+:class:`~repro.recovery.protocol.TwoPhaseMigrator` was written against
+the middleware :class:`~repro.middleware.graph.Graph`, but the protocol
+itself only ever touches a narrow slice of it: the clock, the byte
+mover, the fault hook, the node table, and the migration ledger. These
+:class:`~typing.Protocol` types name that slice explicitly, so any
+placement substrate that satisfies it — the node graph, or
+:mod:`repro.sites`' per-tenant serving sessions — can run real
+PREPARE/TRANSFER/COMMIT transactions with rollback and buffered replay,
+rather than re-implementing the state machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Protocol
+
+from repro.compute.host import Host
+from repro.sim.kernel import Simulator
+
+
+class MigratableNode(Protocol):
+    """What a unit of placeable state must offer the 2PC machinery.
+
+    ``host``/``threads`` are written on commit; ``begin_pause(buffer=
+    True)``/``end_pause`` bracket the transfer (buffered input replays
+    in arrival order on resume); ``snapshot``/``restore`` provide the
+    rollback replica (restore must be idempotent); ``state_version`` is
+    bumped by every checkpoint commit.
+    """
+
+    name: str
+    host: Host | None
+    threads: int
+    state_version: int
+
+    def begin_pause(self, buffer: bool = ...) -> None: ...
+
+    def end_pause(self) -> None: ...
+
+    def snapshot(self) -> object | None: ...
+
+    def restore(self, state: object) -> None: ...
+
+    def state_size_bytes(self) -> int: ...
+
+
+class HeartbeatFabric(Protocol):
+    """What :class:`~repro.recovery.LeaseSupervisor` needs of a fabric.
+
+    One best-effort supervision datagram; ``None`` means the beat was
+    not observed — the only failure signal the lease machinery trusts.
+    """
+
+    def heartbeat(
+        self, src: Host, dst: Host, n_bytes: int, now: float
+    ) -> float | None: ...
+
+
+class MigrationTransport(Protocol):
+    """Byte mover sampled at each phase's virtual time."""
+
+    def send(self, src: Host, dst: Host, n_bytes: int, now: float) -> float | None: ...
+
+    def rtt(self, a: Host, b: Host, n_bytes: int, now: float) -> float: ...
+
+
+class MigrationGraph(Protocol):
+    """The placement substrate a :class:`TwoPhaseMigrator` operates on."""
+
+    @property
+    def sim(self) -> Simulator: ...
+
+    @property
+    def transport(self) -> MigrationTransport: ...
+
+    @property
+    def nodes(self) -> Mapping[str, MigratableNode]: ...
+
+    @property
+    def migration_fault(
+        self,
+    ) -> Callable[[Host, Host, float, int, float], float] | None: ...
+
+    def _record_migration(
+        self,
+        name: str,
+        old_host: Host,
+        new_host: Host,
+        pause: float,
+        state_bytes: int,
+        reason: str,
+    ) -> None: ...

@@ -32,9 +32,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.compute.host import Host
-from repro.middleware.graph import Graph
 from repro.recovery.checkpoint import Checkpoint, CheckpointStore
 from repro.recovery.config import RecoveryConfig
+from repro.recovery.contracts import MigrationGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.context import TraceContext
@@ -75,7 +75,10 @@ class TwoPhaseMigrator:
     Parameters
     ----------
     graph:
-        The node graph whose placements are being changed.
+        The placement substrate whose placements are being changed —
+        anything satisfying :class:`~repro.recovery.contracts.
+        MigrationGraph` (the middleware node graph, or a
+        :mod:`repro.sites` session table).
     store:
         Robot-side checkpoint store; the pre-transfer snapshot
         committed here doubles as the rollback replica.
@@ -90,7 +93,7 @@ class TwoPhaseMigrator:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: MigrationGraph,
         store: CheckpointStore,
         config: RecoveryConfig = RecoveryConfig(),
         on_commit: Callable[[str, str, float], None] | None = None,

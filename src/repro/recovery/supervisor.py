@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.compute.host import Host
-from repro.network.fabric import NetworkFabric
 from repro.recovery.config import RecoveryConfig
+from repro.recovery.contracts import HeartbeatFabric
 from repro.sim.kernel import Process, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,7 +52,10 @@ class LeaseSupervisor:
     Parameters
     ----------
     sim, fabric:
-        The kernel and the transport the heartbeats ride.
+        The kernel and the transport the heartbeats ride — anything
+        satisfying :class:`~repro.recovery.contracts.HeartbeatFabric`
+        (the robot's :class:`~repro.network.fabric.NetworkFabric`, or
+        a :mod:`repro.sites` per-tenant downlink adapter).
     robot_host:
         Where heartbeats terminate (the supervising end).
     config:
@@ -62,7 +65,7 @@ class LeaseSupervisor:
     def __init__(
         self,
         sim: Simulator,
-        fabric: NetworkFabric,
+        fabric: HeartbeatFabric,
         robot_host: Host,
         config: RecoveryConfig = RecoveryConfig(),
         telemetry: "Telemetry | None" = None,

@@ -1,0 +1,41 @@
+"""Geo-distributed multi-edge serving with mobility handoff.
+
+One :class:`~repro.cloud.pool.WorkerPool` behind one fabric was the
+paper's world; this package models the city around it: several edge
+**sites**, each with its own WAP set, coverage area, wired latency,
+worker pool and admission gate (:class:`EdgeSite`,
+:class:`SiteTopology`), connected by a wired metro backhaul
+(:class:`SiteBackhaul`).
+
+A driving tenant is represented by a :class:`TenantSession` — the unit
+of placeable serving state. Sessions live in a :class:`SessionTable`,
+which satisfies the :class:`~repro.recovery.contracts.MigrationGraph`
+contract, so inter-site handoff is executed by the *real*
+:class:`~repro.recovery.TwoPhaseMigrator` — PREPARE over the backhaul,
+bounded transfer retries, deterministic rollback to the source site,
+buffered in-order tick replay — not a re-implementation.
+
+The :class:`SiteSelector` applies the OpenCDA offloading-scheduler
+rule (sort sites by distance, coverage threshold, pick minimum
+observed response time) with hysteresis, and the
+:class:`HandoffManager` closes the loop: mobility handoffs as 2PC
+transactions, per-tenant heartbeat leases over each tenant's own radio
+downlink, and the degraded ladder for site-level faults — evacuate to
+a covering neighbor, fall back to ``all_local`` in dead zones,
+re-offload on re-entry. See ``docs/sites.md``.
+"""
+
+from repro.sites.handoff import HandoffManager
+from repro.sites.selector import SiteSelector
+from repro.sites.session import SessionTable, TenantSession
+from repro.sites.topology import EdgeSite, SiteBackhaul, SiteTopology
+
+__all__ = [
+    "EdgeSite",
+    "HandoffManager",
+    "SessionTable",
+    "SiteBackhaul",
+    "SiteSelector",
+    "SiteTopology",
+    "TenantSession",
+]

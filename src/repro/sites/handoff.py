@@ -1,0 +1,305 @@
+"""The handoff control loop: mobility 2PC, leases, and the ladder.
+
+The :class:`HandoffManager` closes the loop around everything else in
+:mod:`repro.sites`:
+
+* **Mobility handoff** — a periodic check asks the
+  :class:`~repro.sites.selector.SiteSelector` where each session
+  should be. When the answer differs from the incumbent (coverage
+  degradation, or overload showing up as response time), the move is
+  admission-checked at the destination and then executed by the real
+  :class:`~repro.recovery.TwoPhaseMigrator` as a PREPARE/TRANSFER/
+  COMMIT transaction over the backhaul — bounded retries, rollback to
+  the source site, buffered in-order tick replay, all inherited.
+* **Leases** — every session gets its own
+  :class:`~repro.recovery.LeaseSupervisor` whose heartbeats ride the
+  *tenant's own radio downlink* from the serving gateway. A site
+  outage, a dead gateway, or plain coverage loss all silence the
+  beats; the lease machinery sees only that silence, never fault
+  state.
+* **The ladder** — on lease expiry: abort anything in flight touching
+  the dead gateway, then *evacuate* (a direct placement flip — the
+  source cannot participate in 2PC when it is the thing that died) to
+  a covering neighbor that admits the tenant with surge headroom; if
+  none exists, *degrade* to ``all_local``. Degraded sessions
+  re-offload when coverage returns and the cooldown has passed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cloud.admission import TenantSpec
+from repro.compute.host import Host
+from repro.recovery.checkpoint import CheckpointStore
+from repro.recovery.config import RecoveryConfig
+from repro.recovery.protocol import TwoPhaseMigrator
+from repro.recovery.supervisor import LeaseSupervisor
+from repro.sim.kernel import Process, Simulator
+from repro.sites.selector import SiteSelector
+from repro.sites.session import ALL_LOCAL, SessionTable, TenantSession
+from repro.sites.topology import EdgeSite, SiteTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+
+class _SessionHeartbeatFabric:
+    """Heartbeat path for one session: serving gateway -> robot.
+
+    Satisfies :class:`~repro.recovery.contracts.HeartbeatFabric`. The
+    beat rides the tenant's radio downlink at the *current* site, so
+    everything that silences data — a blocked radio (site outage /
+    WAP death), leaving coverage, a dead gateway — silences
+    supervision identically.
+    """
+
+    def __init__(self, session: TenantSession) -> None:
+        self.session = session
+
+    def heartbeat(
+        self, src: Host, dst: Host, n_bytes: int, now: float
+    ) -> float | None:
+        site = self.session.site
+        if site is None or src is not site.gateway or not src.up:
+            return None
+        if self.session.name not in site.radio.tenants():
+            return None
+        return site.radio.downlink_latency(self.session.name, n_bytes, now)
+
+
+class HandoffManager:
+    """Places, moves, evacuates and degrades every session in a city.
+
+    Parameters
+    ----------
+    sim, topology, selector, table:
+        The kernel, the city, the selection rule, and the session
+        registry (also the 2PC substrate — its ``transport`` is the
+        inter-site backhaul every migration phase rides).
+    config:
+        Recovery timeouts: heartbeat cadence, lease TTL, 2PC phase
+        budgets, re-offload cooldown.
+    check_period_s:
+        Cadence of the mobility / re-offload check loop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: SiteTopology,
+        selector: SiteSelector,
+        table: SessionTable,
+        config: RecoveryConfig = RecoveryConfig(),
+        check_period_s: float = 0.5,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.selector = selector
+        self.table = table
+        self.cfg = config
+        self.check_period_s = check_period_s
+        self.telemetry = telemetry
+        self.store = CheckpointStore(max_versions=config.max_versions)
+        self.migrator = TwoPhaseMigrator(
+            table,
+            self.store,
+            config,
+            on_commit=self._handoff_committed,
+            on_abort=self._handoff_aborted,
+            telemetry=telemetry,
+        )
+        self._supervisors: dict[str, LeaseSupervisor] = {}
+        #: In-flight handoffs: tenant -> (src site, dest site).
+        self._pending: dict[str, tuple[EdgeSite, EdgeSite]] = {}
+        self._proc: Process | None = None
+        # Ladder counters (experiment verdicts read these).
+        self.handoffs = 0
+        self.evacuations = 0
+        self.degradations = 0
+        self.reoffloads = 0
+        self.lease_expiries = 0
+        #: Committed handoff pauses (tick-stream blackout per handoff).
+        self.handoff_pauses_s: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Registration / initial placement
+    # ------------------------------------------------------------------
+    def add(self, session: TenantSession) -> EdgeSite | None:
+        """Register ``session``, supervise it, and place it initially.
+
+        Returns the serving site, or None when the tenant starts in a
+        dead zone (or nothing admits it) and runs locally.
+        """
+        self.table.add(session)
+        sup = LeaseSupervisor(
+            self.sim,
+            _SessionHeartbeatFabric(session),
+            session.robot_host,
+            self.cfg,
+            telemetry=self.telemetry,
+        )
+        sup.on_expiry(
+            lambda host_name, s=session: self._on_lease_expired(s, host_name)
+        )
+        sup.start()
+        self._supervisors[session.name] = sup
+        dest = self.selector.select(session.position())
+        if dest is None or not self._admit(dest, session, surge=False):
+            session.degrade()
+            self.degradations += 1
+            return None
+        session.offload_to(dest)
+        self._grant(session, dest)
+        return dest
+
+    def start(self) -> Process:
+        """Begin the periodic mobility / re-offload check."""
+        if self._proc is None:
+            self._proc = self.sim.every(
+                self.check_period_s, self._check, label="sites:handoff"
+            )
+        return self._proc
+
+    # ------------------------------------------------------------------
+    # The check loop
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        now = self.sim.now()
+        for session in list(self.table.nodes.values()):
+            if session.mode == ALL_LOCAL:
+                self._maybe_reoffload(session, now)
+                continue
+            if session.name in self.migrator.inflight:
+                continue
+            cur = session.site
+            if cur is None:
+                continue
+            best = self.selector.select(session.position(), current=cur.name)
+            if best is None:
+                # Coverage gone while the site is healthy (a dead zone):
+                # degrade gracefully instead of waiting out the lease.
+                self._release_placement(session)
+                session.degrade()
+                self.degradations += 1
+                self._emit("site_degraded", tenant=session.name, why="no_coverage")
+                continue
+            if best is not cur:
+                self._begin_handoff(session, cur, best)
+
+    def _maybe_reoffload(self, session: TenantSession, now: float) -> None:
+        if now - session.degraded_at < self.cfg.cooldown_s:
+            return
+        dest = self.selector.select(session.position())
+        if dest is None or not self._admit(dest, session, surge=False):
+            return
+        session.offload_to(dest)
+        self._grant(session, dest)
+        self.reoffloads += 1
+        self._emit("site_reoffload", tenant=session.name, site=dest.name)
+
+    def _begin_handoff(
+        self, session: TenantSession, src: EdgeSite, dest: EdgeSite
+    ) -> None:
+        decision = dest.controller.request_admission(
+            self._requested_spec(session)
+        )
+        if not decision.admitted:
+            return  # stay put; the incumbent still covers us
+        ok = self.migrator.request(
+            session.name, dest.gateway, decision.threads, reason="mobility"
+        )
+        if not ok:
+            dest.controller.release(session.name)
+            return
+        self._pending[session.name] = (src, dest)
+
+    # ------------------------------------------------------------------
+    # 2PC outcomes
+    # ------------------------------------------------------------------
+    def _handoff_committed(self, name: str, dest_name: str, pause: float) -> None:
+        session = self.table.nodes[name]
+        src, dest = self._pending.pop(name)
+        src.controller.release(name)
+        self._grant(session, dest)
+        self.handoffs += 1
+        self.handoff_pauses_s.append(pause)
+        self._emit(
+            "site_handoff",
+            tenant=name,
+            src=src.name,
+            dest=dest.name,
+            pause_s=pause,
+        )
+
+    def _handoff_aborted(self, name: str, why: str) -> None:
+        pending = self._pending.pop(name, None)
+        if pending is not None:
+            # Undo the destination's admission reservation; the session
+            # itself was rolled back to the source by the migrator.
+            pending[1].controller.release(name)
+        self._emit("site_handoff_aborted", tenant=name, why=why)
+
+    # ------------------------------------------------------------------
+    # The ladder (lease expiry -> evacuate -> degrade -> re-offload)
+    # ------------------------------------------------------------------
+    def _on_lease_expired(self, session: TenantSession, host_name: str) -> None:
+        self.lease_expiries += 1
+        self.migrator.abort_for_host(host_name, "lease_expired")
+        self._supervisors[session.name].release(host_name)
+        old_site = self.topology.by_gateway(host_name)
+        if old_site is not None:
+            old_site.controller.release(session.name)
+        dest = self.selector.select(session.position())
+        if dest is not None and self._admit(dest, session, surge=True):
+            # The source is unreachable — 2PC cannot run. Flip the
+            # placement directly (the robot-side state is the replica)
+            # and resume serving at the neighbor.
+            session.offload_to(dest)
+            session.evacuations += 1
+            self.evacuations += 1
+            self._grant(session, dest)
+            self._emit(
+                "site_evacuated", tenant=session.name, dest=dest.name
+            )
+            return
+        session.degrade()
+        self.degradations += 1
+        self._emit("site_degraded", tenant=session.name, why="lease_expired")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _requested_spec(self, session: TenantSession) -> TenantSpec:
+        return session.spec
+
+    def _admit(
+        self, site: EdgeSite, session: TenantSession, *, surge: bool
+    ) -> bool:
+        decision = site.controller.request_admission(
+            self._requested_spec(session), surge=surge
+        )
+        if decision.admitted:
+            session.threads = decision.threads
+        return decision.admitted
+
+    def _release_placement(self, session: TenantSession) -> None:
+        if session.site is not None:
+            session.site.controller.release(session.name)
+        sup = self._supervisors[session.name]
+        for host_name in list(sup.leases):
+            sup.release(host_name)
+
+    def _grant(self, session: TenantSession, dest: EdgeSite) -> None:
+        sup = self._supervisors[session.name]
+        for host_name in list(sup.leases):
+            if host_name != dest.gateway.name:
+                sup.release(host_name)
+        sup.grant(dest.gateway)
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                kind, t=self.sim.now(), track="sites", **fields
+            )

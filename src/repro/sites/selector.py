@@ -1,0 +1,107 @@
+"""Site selection: the OpenCDA offloading-scheduler rule, made sticky.
+
+The reference rule (the ``offloading_scheduler.py`` slice in the
+related-work set) picks a serving base station in three steps: sort
+candidates by distance, drop the ones beyond the coverage threshold,
+then take the minimum *measured* response time among the survivors.
+This selector reproduces that rule over :class:`~repro.sites.topology.
+SiteTopology` and adds two things a driving fleet needs:
+
+* **EWMA response times** — per-site observations (fed by each served
+  tick) smooth into a stable ranking signal instead of per-packet
+  noise. A never-observed covering site is scored *optimistically* at
+  the best measured RT among the candidates (or 0 when nothing is
+  measured yet), so unexplored coverage competes on distance instead
+  of being unreachable — a driving tenant approaching a fresh site
+  can hand off to it before ever being served there.
+* **Hysteresis** — a tenant already placed on a covering site only
+  moves on a decisive improvement in one of the two signals: the
+  challenger's response time beats the incumbent's by ``hysteresis``
+  (fractionally), or the challenger is closer by the same margin
+  while its response time is no worse than the incumbent's (within
+  the band). Marginal tenants on a coverage boundary therefore do not
+  flap between sites; losing coverage (or the incumbent dying) still
+  forces a move.
+"""
+
+from __future__ import annotations
+
+from repro.sites.topology import EdgeSite, SiteTopology
+
+
+class SiteSelector:
+    """Nearest-with-coverage, then min observed response time, sticky."""
+
+    def __init__(
+        self,
+        topology: SiteTopology,
+        hysteresis: float = 0.15,
+        alpha: float = 0.3,
+    ) -> None:
+        if not 0.0 <= hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be in [0, 1), got {hysteresis}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.topology = topology
+        self.hysteresis = hysteresis
+        self.alpha = alpha
+        self._rt: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Measurement feed
+    # ------------------------------------------------------------------
+    def observe(self, site_name: str, response_time_s: float) -> None:
+        """Fold one served tick's end-to-end latency into the EWMA."""
+        prev = self._rt.get(site_name)
+        self._rt[site_name] = (
+            response_time_s
+            if prev is None
+            else (1.0 - self.alpha) * prev + self.alpha * response_time_s
+        )
+
+    def response_time(self, site_name: str) -> float | None:
+        """The site's smoothed response time; None if never observed."""
+        return self._rt.get(site_name)
+
+    # ------------------------------------------------------------------
+    # The rule
+    # ------------------------------------------------------------------
+    def select(
+        self, xy: tuple[float, float], current: str | None = None
+    ) -> EdgeSite | None:
+        """Best serving site for a tenant at ``xy``; None = no coverage.
+
+        ``current`` names the tenant's incumbent site, enabling the
+        hysteresis band. Candidates are healthy covering sites only —
+        a dead or out-of-range incumbent never survives selection.
+        """
+        covering = self.topology.covering(xy)
+        if not covering:
+            return None
+        measured = [
+            self._rt[s.name] for s in covering if s.name in self._rt
+        ]
+        floor = min(measured) if measured else 0.0
+
+        def rt_of(s: EdgeSite) -> float:
+            # Optimistic prior: an unexplored site is assumed as fast
+            # as the best measured candidate, so it competes on
+            # distance rather than being unreachable forever.
+            return self._rt.get(s.name, floor)
+
+        best = min(
+            covering, key=lambda s: (rt_of(s), s.distance_to(xy), s.name)
+        )
+        if current is None:
+            return best
+        cur = next((s for s in covering if s.name == current), None)
+        if cur is None or cur is best:
+            return best
+        if rt_of(best) < rt_of(cur) * (1.0 - self.hysteresis):
+            return best  # decisively faster
+        if (
+            best.distance_to(xy) < cur.distance_to(xy) * (1.0 - self.hysteresis)
+            and rt_of(best) <= rt_of(cur) * (1.0 + self.hysteresis)
+        ):
+            return best  # decisively closer, and not measurably slower
+        return cur

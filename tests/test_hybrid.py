@@ -391,6 +391,93 @@ def test_fluid_background_migrates_off_dead_worker():
     assert pool.workers[1].background_load == pytest.approx(total)
 
 
+def _pool(sim, n_workers: int, tag: str) -> WorkerPool:
+    hosts = [Host(f"{tag}-vm{i}", CLOUD_SERVER) for i in range(n_workers)]
+    return WorkerPool(
+        sim, hosts, make_scheduler("ps"), make_balancer("least-loaded")
+    )
+
+
+def test_fluid_background_splits_across_pools_by_capacity():
+    sim = Simulator()
+    pools = [_pool(sim, 2, "a"), _pool(sim, 1, "b")]
+    controllers = [AdmissionController(p) for p in pools]
+    bg = FluidBackground(
+        sim, pools[0],
+        TenantSpec("background", local_vdp_s=LOCAL_VDP_S, **SPEC_ARGS),
+        12,
+        controller=controllers[0],
+        pools=pools,
+        controllers=controllers,
+    )
+    bg.attach()
+    total = sum(p.background_demand_cores for p in pools)
+    assert total > 0
+    # Live-capacity proportional: the 2-worker pool takes 2/3.
+    assert pools[0].background_demand_cores == pytest.approx(total * 2 / 3)
+    assert pools[1].background_demand_cores == pytest.approx(total / 3)
+    # Each site's admission gate sees its own share, not the total.
+    for p, c in zip(pools, controllers):
+        assert c.background_demand_cores == p.background_demand_cores
+    bg.detach()
+    assert all(p.background_demand_cores == 0.0 for p in pools)
+    assert all(c.background_demand_cores == 0.0 for c in controllers)
+
+
+def test_fluid_background_single_entry_pools_matches_plain():
+    spec_args = dict(local_vdp_s=LOCAL_VDP_S, **SPEC_ARGS)
+    sim_a = Simulator()
+    plain_pool = _pool(sim_a, 2, "cloud")
+    plain = FluidBackground(sim_a, plain_pool, TenantSpec("background", **spec_args), 10)
+    plain.attach()
+    sim_b = Simulator()
+    listed_pool = _pool(sim_b, 2, "cloud")
+    listed = FluidBackground(
+        sim_b, listed_pool, TenantSpec("background", **spec_args), 10,
+        pools=[listed_pool],
+    )
+    listed.attach()
+    # Exact equality: the one-pool list must take the scalar code path.
+    assert listed_pool.background_demand_cores == plain_pool.background_demand_cores
+    assert [w.background_load for w in listed_pool.workers] == [
+        w.background_load for w in plain_pool.workers
+    ]
+
+
+def test_fluid_background_rebalance_shifts_share_to_survivors():
+    sim = Simulator()
+    pools = [_pool(sim, 1, "a"), _pool(sim, 1, "b")]
+    bg = FluidBackground(
+        sim, pools[0],
+        TenantSpec("background", local_vdp_s=LOCAL_VDP_S, **SPEC_ARGS),
+        8,
+        pools=pools,
+    )
+    bg.attach()
+    total = sum(p.background_demand_cores for p in pools)
+    assert pools[0].background_demand_cores == pytest.approx(total / 2)
+    # Pool b's only worker dies: its share must flow to pool a.
+    dead = pools[1].worker_hosts()[0]
+    dead.up = False
+    pools[1].on_worker_down(dead)
+    bg.rebalance()
+    assert pools[1].background_demand_cores == 0.0
+    assert pools[0].background_demand_cores == pytest.approx(total)
+
+
+def test_fluid_background_multi_pool_validation():
+    sim = Simulator()
+    pools = [_pool(sim, 1, "a"), _pool(sim, 1, "b")]
+    spec = TenantSpec("background", local_vdp_s=LOCAL_VDP_S, **SPEC_ARGS)
+    with pytest.raises(ValueError, match="pools\\[0\\]"):
+        FluidBackground(sim, pools[0], spec, 4, pools=[pools[1], pools[0]])
+    with pytest.raises(ValueError, match="controllers"):
+        FluidBackground(
+            sim, pools[0], spec, 4, pools=pools,
+            controllers=[AdmissionController(pools[0])],
+        )
+
+
 def test_jittered_background_is_deterministic():
     kwargs = dict(
         tenants=600, focal=4, workers=1, sim_time_s=6.0, jitter=0.1, seed=3

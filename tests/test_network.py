@@ -500,3 +500,59 @@ class TestFleetRadioNetwork:
         net.attach("r0", (14.0, 0.0))  # blocked zone: sends are held
         assert net.uplink_latency("r0", 500, 0.0) is None
         assert net.flush_held(1.0) >= 0
+
+    def test_position_provider_tracks_motion(self):
+        # A driving tenant's bandwidth must follow its position, not
+        # freeze at the attach-time location.
+        net = self._net()
+        pos = [2.0, 0.0]
+        link = net.attach("r0", lambda: (pos[0], pos[1]))
+        near = link.state()
+        pos[0] = 14.0  # drive toward the unstable fringe
+        far = link.state()
+        assert far.distance_m > near.distance_m
+        assert far.rate_bps < near.rate_bps
+
+    def test_detach_then_reattach_resumes_stream(self):
+        # detach + re-attach at the same WAP must replay the exact
+        # fading sequence an uninterrupted association would have.
+        a = self._net(seed=3)
+        b = self._net(seed=3)
+        a.attach("r0", (2.0, 1.0))
+        b.attach("r0", (2.0, 1.0))
+        uninterrupted = [a.uplink_latency("r0", 500, i * 0.1) for i in range(24)]
+        first = [b.uplink_latency("r0", 500, i * 0.1) for i in range(12)]
+        b.detach("r0")
+        assert "r0" not in b.tenants()
+        b.attach("r0", (2.0, 1.0))
+        rest = [b.uplink_latency("r0", 500, (12 + i) * 0.1) for i in range(12)]
+        assert first + rest == uninterrupted
+
+    def test_detach_unknown_raises(self):
+        net = self._net()
+        with pytest.raises(KeyError):
+            net.detach("ghost")
+
+    def test_reassociate_follows_the_tenant(self):
+        net = self._net()
+        pos = [2.0, 0.0]
+        link = net.attach("r0", lambda: (pos[0], pos[1]))
+        assert link.wap is net.waps[0]
+        pos[0] = 38.0
+        net.reassociate("r0")
+        assert link.wap is net.waps[1]
+        # RNG stream untouched by the re-association
+        rng_before = link.rng
+        net.reassociate("r0")
+        assert link.rng is rng_before
+
+    def test_set_blocked_covers_future_attaches(self):
+        net = self._net()
+        net.attach("r0", (2.0, 1.0))
+        net.set_blocked(True)
+        assert net.link("r0").fault_blocked
+        late = net.attach("r1", (2.0, 1.0))
+        assert late.fault_blocked
+        net.set_blocked(False)
+        assert not net.link("r0").fault_blocked
+        assert not late.fault_blocked
