@@ -42,7 +42,8 @@ class NodeMigrator(Protocol):
     ``request`` starts an asynchronous move and returns whether it was
     accepted (a move already in flight for the node is rejected). The
     migrator applies the thread width and reports back through
-    :meth:`Switcher.record_migration` only when the move commits.
+    :meth:`Switcher.record_migration` when the move commits or
+    :meth:`Switcher.record_aborted_migration` when it aborts.
     """
 
     def request(
@@ -97,6 +98,11 @@ class Switcher:
             self.server_pool = server_host
         self.server_threads = dict(server_threads or {})
         self.records: list[MigrationRecord] = []
+        #: (t, node, why) per aborted two-phase migration, and the
+        #: count of requests the migrator refused (node already in
+        #: flight) — both signals a driver must observe, not drop.
+        self.aborted: list[tuple[float, str, str]] = []
+        self.refused_requests = 0
         #: Optional two-phase migration protocol (repro.recovery).
         #: When set, ``_move`` hands state transfers to it instead of
         #: the atomic ``Graph.move_node``; the MigrationRecord lands at
@@ -157,7 +163,10 @@ class Switcher:
             return 0.0
         if self.migrator is not None:
             threads = self.server_threads.get(name, 1) if server_side else 1
-            self.migrator.request(name, dest, threads=threads, reason=reason)
+            if not self.migrator.request(name, dest, threads=threads, reason=reason):
+                # a transaction for this node is already in flight; the
+                # superseded decision resurfaces at the next plan
+                self.refused_requests += 1
             return 0.0
         pause = self.graph.move_node(name, dest, reason=reason)
         if server_side:
@@ -174,6 +183,16 @@ class Switcher:
         self.records.append(
             MigrationRecord(self.graph.sim.now(), name, dest, pause_s)
         )
+
+    def record_aborted_migration(self, name: str, why: str) -> None:
+        """Record an aborted move (called back by a ``migrator``).
+
+        The node is back at its source, but it *was* paused for the
+        prepare/transfer window; without this callback that cost — and
+        the fact the placement decision silently didn't happen — would
+        vanish from the record.
+        """
+        self.aborted.append((self.graph.sim.now(), name, why))
 
     def placement(self) -> dict[str, str]:
         """Current host name of every node in the graph."""

@@ -6,8 +6,10 @@ one invariant: *a mission is a pure function of its seed*. Code under
 ``src/repro`` must therefore never read wall-clock time, draw unseeded
 randomness, or let order-unstable iteration reach simulator state or
 serialized output. ``repro.lint`` turns that convention into a
-machine-checked gate: an AST pass (stdlib :mod:`ast`, no third-party
-dependencies) with eight checkers, run via ``python -m repro lint``.
+machine-checked gate: a flow-aware analysis suite (stdlib :mod:`ast`,
+no third-party dependencies) built from per-file checkers, a
+per-function CFG (:mod:`repro.lint.cfg`), and a project-wide call
+graph (:mod:`repro.lint.callgraph`), run via ``python -m repro lint``.
 
 Checker codes
 -------------
@@ -17,20 +19,31 @@ DET001    wall-clock reads (``time.time``/``perf_counter``/…)
 DET002    global ``random`` module or direct ``numpy.random`` use
 DET003    iteration over sets / object-identity dict keys
 DET004    ambient entropy (``os.environ``/``os.urandom``/``uuid4``)
+DET005    sim callback *transitively* reaches entropy (call chain)
+RES001    acquire may escape a CFG path without its paired release
+PRO001    2PC phase method exits without advance/abort/finalize
 SIM001    reentrant ``Simulator.run`` from an event callback
 SIM002    float ``==``/``!=`` on sim-time or energy quantities
 SIM003    mutable default arguments
 SIM004    unguarded calls through a nullable telemetry handle
+SIM005    slot-reused event handle misuse (repush/stale time/seq)
+LNT001    stale or reasonless ``# lint: ok`` suppression
 ========  ==========================================================
 
-Suppressions: append ``# lint: ok(CODE)`` (optionally
-``# lint: ok(CODE): reason``) to the offending line, or declare
-``# lint: file-ok(CODE): reason`` anywhere in the file. See
+Suppressions: append ``# lint: ok(CODE): reason`` to the offending
+line, or declare ``# lint: file-ok(CODE): reason`` anywhere in the
+file. LNT001 requires the reason and flags suppressions that no longer
+fire; ``repro lint --fix-suppressions`` rewrites those away. See
 ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
 
+from repro.lint.baseline import filter_new, load_baseline, write_baseline
+from repro.lint.cache import LintCache
+from repro.lint.callgraph import ProjectIndex, module_summary
+from repro.lint.cfg import CFG, build_cfg
+from repro.lint.closure import DeterminismClosure
 from repro.lint.determinism import (
     AmbientEntropyChecker,
     OrderStableIterChecker,
@@ -40,33 +53,55 @@ from repro.lint.determinism import (
 from repro.lint.engine import (
     ALL_CHECKERS,
     DEFAULT_ALLOWLIST,
+    KNOWN_CODES,
+    LintRun,
     lint_file,
     lint_paths,
     lint_source,
+    run_lint,
 )
+from repro.lint.lifecycle import EventLifecycleChecker
+from repro.lint.protocol import ProtocolFSMChecker
+from repro.lint.resources import ResourcePairingChecker
 from repro.lint.simsafety import (
     FloatEqChecker,
     MutableDefaultChecker,
     ReentrantRunChecker,
     TelemetryGuardChecker,
 )
-from repro.lint.suppress import SuppressionIndex
+from repro.lint.suppress import SuppressionIndex, fix_suppressions
 from repro.lint.violations import Violation
 
 __all__ = [
     "ALL_CHECKERS",
+    "CFG",
     "DEFAULT_ALLOWLIST",
+    "KNOWN_CODES",
     "AmbientEntropyChecker",
+    "DeterminismClosure",
+    "EventLifecycleChecker",
     "FloatEqChecker",
+    "LintCache",
+    "LintRun",
     "MutableDefaultChecker",
     "OrderStableIterChecker",
+    "ProjectIndex",
+    "ProtocolFSMChecker",
     "RandomnessChecker",
     "ReentrantRunChecker",
+    "ResourcePairingChecker",
     "SuppressionIndex",
     "TelemetryGuardChecker",
     "Violation",
     "WallClockChecker",
+    "build_cfg",
+    "filter_new",
+    "fix_suppressions",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "module_summary",
+    "run_lint",
+    "write_baseline",
 ]

@@ -1,0 +1,56 @@
+"""Violation baselines: land a checker before its sweep finishes.
+
+``repro lint --write-baseline lint-baseline.json`` records the current
+violation population; ``repro lint --baseline lint-baseline.json`` then
+fails only on *new* violations. The baseline is a multiset keyed by
+``(path, code)`` — deliberately not by line, so unrelated edits that
+shift line numbers don't resurrect baselined findings, while adding a
+second RES001 leak to a file that had one *does* fail (the count
+grew). Shrinking counts are fine and are how a baseline burns down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.violations import Violation
+
+_VERSION = 1
+
+
+def baseline_counts(violations: list[Violation]) -> dict[str, int]:
+    """Multiset of findings as ``"path::code" -> count``."""
+    return dict(Counter(f"{v.path}::{v.code}" for v in violations))
+
+
+def write_baseline(violations: list[Violation], path: str | Path) -> None:
+    payload = {"version": _VERSION, "counts": baseline_counts(violations)}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    payload = json.loads(Path(path).read_text())
+    counts = payload.get("counts", {})
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def filter_new(
+    violations: list[Violation], baseline: dict[str, int]
+) -> list[Violation]:
+    """Violations beyond the baselined count for their (path, code).
+
+    Within one key the *first* ``count`` findings (in sorted order) are
+    considered baselined and the remainder new — stable, if arbitrary,
+    when a file holds both an old and a new instance of the same code.
+    """
+    budget = dict(baseline)
+    out: list[Violation] = []
+    for v in sorted(violations):
+        key = f"{v.path}::{v.code}"
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            out.append(v)
+    return out

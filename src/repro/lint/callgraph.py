@@ -1,0 +1,360 @@
+"""Project-wide call graph: per-module summaries + name resolution.
+
+The whole-program half of the pass. Each module is distilled into a
+:class:`ModuleSummary` — its functions, the calls each makes, the
+entropy primitives it touches, and every function reference it
+registers as a simulator callback. Summaries are plain JSON-able dicts
+(so the incremental cache can persist them per file), and a
+:class:`ProjectIndex` stitches them into a call graph on demand.
+
+Resolution is *name-based and deliberately conservative*: a call edge
+is added only when the callee is unambiguous —
+
+* a plain name defined at module level in the same module, or imported
+  from another project module (via the alias map);
+* ``self.method()`` resolved in the enclosing class, then through its
+  textually-named base classes, then by project-unique method name;
+* ``obj.method()`` resolved only when exactly *one* class in the whole
+  project defines ``method`` (otherwise the edge is dropped — a missed
+  edge costs a finding, a wrong edge costs a false alarm, and the
+  checker's credibility with it).
+
+Sim-context roots (the functions DET005 treats as "inside the
+simulation") are every function reference handed to the kernel's
+scheduling surfaces (``schedule_at``/``schedule_after``/``every``/
+``push``/``create_timer``/``subscribe``/``Process``) plus the
+middleware hook methods (``on_start``/``on_tick``). Lambda callbacks
+contribute the calls inside their bodies directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Any
+
+from repro.lint.base import collect_aliases, dotted_name
+from repro.lint.determinism import AMBIENT_CALLS, WALL_CLOCK_CALLS
+
+#: Scheduling surfaces whose callback argument enters sim context, as
+#: ``terminal name -> positional index of the callback argument``.
+CALLBACK_REGISTRARS: dict[str, int] = {
+    "schedule_at": 1,
+    "schedule_after": 1,
+    "every": 1,
+    "push": 1,
+    "create_timer": 1,
+    "subscribe": 1,
+    "Process": 2,
+}
+
+#: Method names that are sim-context hooks by convention.
+HOOK_METHODS = frozenset({"on_start", "on_tick"})
+
+#: Call-reference kinds (see module docstring for resolution rules).
+PLAIN = "plain"
+SELF = "self"
+ATTR = "attr"
+DOTTED = "dotted"
+
+
+def entropy_code(name: str) -> str | None:
+    """DET code of a canonical dotted call name, or None if clean."""
+    if name in WALL_CLOCK_CALLS:
+        return "DET001"
+    if name.startswith("random.") or name.startswith("numpy.random."):
+        return "DET002"
+    if name in AMBIENT_CALLS or name.startswith("secrets."):
+        return "DET004"
+    return None
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name from a source path, best-effort.
+
+    ``src/repro/sim/kernel.py`` -> ``repro.sim.kernel``; paths outside
+    a ``repro`` tree fall back to their stem, which keeps same-module
+    resolution working for fixture files.
+    """
+    parts = path.replace("\\", "/").split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        i = len(parts) - 2
+        while i >= 0 and parts[i] != "repro":
+            i -= 1
+        pkg = parts[i:-1]
+        if stem == "__init__":
+            return ".".join(pkg)
+        return ".".join(pkg + [stem])
+    return stem
+
+
+class _SummaryVisitor(ast.NodeVisitor):
+    """Single-pass extraction of one module's summary dict."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.aliases = collect_aliases(tree)
+        self.summary: dict[str, Any] = {
+            "path": path,
+            "module": _module_name(path),
+            "functions": {},
+            "classes": {},
+            "callbacks": [],
+        }
+        self._class_stack: list[str] = []
+        self._func_stack: list[dict[str, Any]] = []
+        self.visit(tree)
+
+    # -- definitions ----------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qual = ".".join(self._class_stack + [node.name])
+        self.summary["classes"][qual] = {
+            "bases": [b for b in (dotted_name(base, self.aliases) for base in node.bases) if b],
+            "methods": [],
+        }
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cls = ".".join(self._class_stack) if self._class_stack else None
+        if self._func_stack:
+            qual = self._func_stack[-1]["qualname"] + "." + node.name
+        elif cls:
+            qual = f"{cls}.{node.name}"
+        else:
+            qual = node.name
+        info: dict[str, Any] = {
+            "qualname": qual,
+            "name": node.name,
+            "cls": cls,
+            "line": node.lineno,
+            "calls": [],
+            "entropy": [],
+        }
+        self.summary["functions"][qual] = info
+        if cls:
+            self.summary["classes"].setdefault(cls, {"bases": [], "methods": []})
+            self.summary["classes"][cls]["methods"].append(node.name)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    # -- uses -----------------------------------------------------------
+    def _call_ref(self, func: ast.expr) -> tuple[str, str] | None:
+        """Classify a callable expression into a (kind, name) ref."""
+        dotted = dotted_name(func, self.aliases)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return (PLAIN, dotted)
+        if parts[0] == "self":
+            if len(parts) == 2:
+                return (SELF, parts[1])
+            return (ATTR, parts[-1])
+        root = func
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id in self.aliases:
+            # rooted in an import: the dotted path is canonical
+            return (DOTTED, dotted)
+        return (ATTR, parts[-1])
+
+    def _register_callback(self, cb: ast.expr, line: int) -> None:
+        if isinstance(cb, ast.Lambda):
+            for sub in ast.walk(cb.body):
+                if isinstance(sub, ast.Call):
+                    ref = self._call_ref(sub.func)
+                    if ref is not None:
+                        self.summary["callbacks"].append(
+                            {"kind": ref[0], "name": ref[1], "line": line,
+                             "scope": self._scope()}
+                        )
+            return
+        ref = self._call_ref(cb)
+        if ref is not None:
+            self.summary["callbacks"].append(
+                {"kind": ref[0], "name": ref[1], "line": line, "scope": self._scope()}
+            )
+
+    def _scope(self) -> str | None:
+        """Class context of the reference site, for self-resolution."""
+        return ".".join(self._class_stack) if self._class_stack else None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func, self.aliases)
+        if self._func_stack and dotted is not None:
+            info = self._func_stack[-1]
+            code = entropy_code(dotted)
+            if code is not None:
+                info["entropy"].append(
+                    {"code": code, "name": dotted, "line": node.lineno}
+                )
+            ref = self._call_ref(node.func)
+            if ref is not None:
+                info["calls"].append(
+                    {"kind": ref[0], "name": ref[1], "line": node.lineno,
+                     "scope": info["cls"]}
+                )
+        # callback registration (counts inside or outside functions)
+        terminal = dotted.split(".")[-1] if dotted else None
+        if terminal in CALLBACK_REGISTRARS:
+            idx = CALLBACK_REGISTRARS[terminal]
+            if len(node.args) > idx:
+                self._register_callback(node.args[idx], node.lineno)
+            for kw in node.keywords:
+                if kw.arg == "callback":
+                    self._register_callback(kw.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # os.environ reads are DET004 entropy even without a call
+        if self._func_stack and dotted_name(node, self.aliases) == "os.environ":
+            self._func_stack[-1]["entropy"].append(
+                {"code": "DET004", "name": "os.environ", "line": node.lineno}
+            )
+        self.generic_visit(node)
+
+
+def module_summary(path: str, tree: ast.Module) -> dict[str, Any]:
+    """Extract the JSON-able summary of one parsed module."""
+    return _SummaryVisitor(path, tree).summary
+
+
+class ProjectIndex:
+    """All module summaries, stitched into a resolvable call graph.
+
+    Functions are addressed as ``(path, qualname)`` keys. Edges carry
+    the call line in the *caller*, so a DET005 chain can point at the
+    exact call that leaves sim-safe territory.
+    """
+
+    def __init__(self, summaries: list[dict[str, Any]]) -> None:
+        self.summaries = summaries
+        #: (path, qualname) -> function info dict
+        self.functions: dict[tuple[str, str], dict[str, Any]] = {}
+        #: dotted module name -> summary
+        self._by_module: dict[str, dict[str, Any]] = {}
+        #: method name -> [(path, class qualname)] across the project
+        self._method_classes: dict[str, list[tuple[str, str]]] = {}
+        #: plain function name -> [(path, qualname)] (module-level only)
+        self._plain: dict[str, list[tuple[str, str]]] = {}
+        for s in summaries:
+            self._by_module[s["module"]] = s
+            for qual, info in s["functions"].items():
+                key = (s["path"], qual)
+                self.functions[key] = info
+                if info["cls"] is None and "." not in qual:
+                    self._plain.setdefault(info["name"], []).append(key)
+            for cls, cinfo in s["classes"].items():
+                for m in cinfo["methods"]:
+                    self._method_classes.setdefault(m, []).append((s["path"], cls))
+
+    # -- resolution -----------------------------------------------------
+    def _class_summary(self, path: str, cls: str) -> dict[str, Any] | None:
+        for s in self.summaries:
+            if s["path"] == path:
+                return s["classes"].get(cls)
+        return None
+
+    def _resolve_in_class(self, path: str, cls: str, method: str) -> tuple[str, str] | None:
+        """Resolve ``method`` in ``cls`` (same module), then its bases."""
+        seen: set[tuple[str, str]] = set()
+        queue = deque([(path, cls)])
+        while queue:
+            p, c = queue.popleft()
+            if (p, c) in seen:
+                continue
+            seen.add((p, c))
+            key = (p, f"{c}.{method}")
+            if key in self.functions:
+                return key
+            cinfo = self._class_summary(p, c)
+            if cinfo is None:
+                continue
+            for base in cinfo["bases"]:
+                base_name = base.split(".")[-1]
+                candidates = [
+                    (bp, bc)
+                    for bp, bc in self._all_classes()
+                    if bc.split(".")[-1] == base_name
+                ]
+                if len(candidates) == 1:
+                    queue.append(candidates[0])
+        return None
+
+    def _all_classes(self) -> list[tuple[str, str]]:
+        return [
+            (s["path"], c) for s in self.summaries for c in s["classes"]
+        ]
+
+    def resolve(self, path: str, ref: dict[str, Any]) -> tuple[str, str] | None:
+        """Resolve one call/callback reference to a function key."""
+        kind, name = ref["kind"], ref["name"]
+        summary = next((s for s in self.summaries if s["path"] == path), None)
+        if kind == PLAIN:
+            if summary is not None and name in summary["functions"]:
+                return (path, name)
+            hits = self._plain.get(name, [])
+            if len(hits) == 1:
+                return hits[0]
+            return None
+        if kind == DOTTED:
+            mod, _, fn = name.rpartition(".")
+            target = self._by_module.get(mod)
+            if target is not None and fn in target["functions"]:
+                return (target["path"], fn)
+            # ``from pkg.mod import func`` canonicalizes to pkg.mod.func
+            return None
+        if kind == SELF:
+            scope = ref.get("scope")
+            if scope:
+                hit = self._resolve_in_class(path, scope, name)
+                if hit is not None:
+                    return hit
+            return self._unique_method(name)
+        if kind == ATTR:
+            return self._unique_method(name)
+        return None
+
+    def _unique_method(self, name: str) -> tuple[str, str] | None:
+        owners = self._method_classes.get(name, [])
+        if len(owners) == 1:
+            p, c = owners[0]
+            key = (p, f"{c}.{name}")
+            if key in self.functions:
+                return key
+        return None
+
+    # -- graph ----------------------------------------------------------
+    def roots(self) -> list[tuple[tuple[str, str], int]]:
+        """Sim-context root functions as ``(key, registration line)``."""
+        out: list[tuple[tuple[str, str], int]] = []
+        seen: set[tuple[str, str]] = set()
+        for s in self.summaries:
+            for ref in s["callbacks"]:
+                key = self.resolve(s["path"], ref)
+                if key is not None and key not in seen:
+                    seen.add(key)
+                    out.append((key, ref["line"]))
+        for key, info in self.functions.items():
+            if info["name"] in HOOK_METHODS and info["cls"] and key not in seen:
+                seen.add(key)
+                out.append((key, info["line"]))
+        return sorted(out, key=lambda item: (item[0][0], item[0][1]))
+
+    def callees(self, key: tuple[str, str]) -> list[tuple[tuple[str, str], int]]:
+        """Resolved call edges of one function as ``(callee, line)``."""
+        info = self.functions.get(key)
+        if info is None:
+            return []
+        out: list[tuple[tuple[str, str], int]] = []
+        for ref in info["calls"]:
+            callee = self.resolve(key[0], ref)
+            if callee is not None and callee != key:
+                out.append((callee, ref["line"]))
+        return out

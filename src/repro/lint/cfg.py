@@ -1,0 +1,353 @@
+"""Per-function control-flow graphs for the flow-aware checkers.
+
+One :class:`Block` per executed *step*: a simple statement, a branch
+test, an exception handler entry, a loop header. Compound statements
+(``if``/``while``/``for``/``try``/``with``/``match``) are decomposed
+into their headers and bodies, so path-sensitive analyses (RES001's
+acquire/release pairing, PRO001's FSM exits) can walk real execution
+orders — including the ones only an exception takes.
+
+Exception edges are deliberately selective, because "any call can
+raise" would drown every analysis in paths no reviewer believes:
+
+* an explicit ``raise`` always edges to the innermost enclosing
+  handler set, or to :attr:`CFG.raise_exit` when uncaught;
+* a statement that *contains a call or assert* gets an exception edge
+  **only while inside a ``try``** — the author has declared the region
+  failure-prone, so the analyses honour every way out of it;
+* ``finally`` bodies are inlined once per continuation (normal,
+  exceptional, return/break/continue), so a release inside ``finally``
+  is correctly seen on *both* the clean and the exploding path.
+
+Every block remembers the AST fragments that actually execute at that
+step (``parts``): for an ``if`` header that is the test expression
+only, never the body — so "does this step call ``vacate``" is asked of
+exactly the code that runs there.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Sequence
+
+#: Edge kinds. "next" is ordinary fall-through; "true"/"false" leave a
+#: branch test; "except" enters a handler (or the exceptional finally);
+#: "raise" escapes the function with an exception; "return" reaches the
+#: normal exit via an explicit return; "loop" is a back edge.
+NEXT = "next"
+TRUE = "true"
+FALSE = "false"
+EXCEPT = "except"
+RAISE = "raise"
+RETURN = "return"
+LOOP = "loop"
+BREAK = "break"
+CONTINUE = "continue"
+
+
+class Block:
+    """One executable step plus its outgoing edges."""
+
+    __slots__ = ("bid", "node", "parts", "succs", "role")
+
+    def __init__(
+        self,
+        bid: int,
+        node: ast.AST | None,
+        parts: Sequence[ast.AST],
+        role: str,
+    ) -> None:
+        self.bid = bid
+        #: The owning AST node (a statement, or None for entry/exit).
+        self.node = node
+        #: The fragments that execute *at this step* (e.g. only the
+        #: test of an ``if``). Analyses scan these, never ``node``.
+        self.parts = list(parts)
+        #: Outgoing edges as ``(block, kind)`` pairs.
+        self.succs: list[tuple[Block, str]] = []
+        #: "entry", "exit", "raise_exit", "stmt", "test", "handler".
+        self.role = role
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        src = type(self.node).__name__ if self.node is not None else "-"
+        return f"Block({self.bid}, {self.role}, {src}, line={self.line})"
+
+
+def stmt_can_raise(parts: Sequence[ast.AST]) -> bool:
+    """Whether a step may raise: explicit raise/assert, or any call."""
+    for part in parts:
+        for sub in ast.walk(part):
+            if isinstance(sub, (ast.Call, ast.Raise, ast.Assert)):
+                return True
+    return False
+
+
+#: Frontier: dangling ``(block, kind)`` edges awaiting their successor.
+Frontier = list[tuple[Block, str]]
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self._block(None, (), "entry")
+        self.exit = self._block(None, (), "exit")
+        self.raise_exit = self._block(None, (), "raise_exit")
+        builder = _Builder(self)
+        frontier = builder.seq(func.body, [(self.entry, NEXT)])
+        _connect(frontier, self.exit, RETURN)
+
+    def _block(self, node: ast.AST | None, parts: Sequence[ast.AST], role: str) -> Block:
+        b = Block(len(self.blocks), node, parts, role)
+        self.blocks.append(b)
+        return b
+
+    def stmt_blocks(self) -> list[Block]:
+        """Every executable block, in construction (source-ish) order."""
+        return [b for b in self.blocks if b.role in ("stmt", "test", "handler")]
+
+
+def _connect(frontier: Frontier, target: Block, kind: str | None = None) -> None:
+    for block, edge_kind in frontier:
+        block.succs.append((target, kind if kind is not None else edge_kind))
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        #: Innermost exception targets: a list of handler-entry blocks,
+        #: or None markers meaning "route through this try's finally
+        #: exceptionally". Empty stack => raising escapes the function.
+        self._exc_stack: list[_TryContext] = []
+        #: (break_frontier, continue_target) per enclosing loop.
+        self._loop_stack: list[tuple[Frontier, Block]] = []
+        #: Enclosing finally bodies that a return/break/continue must
+        #: run through before leaving (innermost last).
+        self._finally_stack: list[list[ast.stmt]] = []
+
+    # -- plumbing -------------------------------------------------------
+    def _new(self, node: ast.AST, parts: Sequence[ast.AST], role: str = "stmt") -> Block:
+        return self.cfg._block(node, parts, role)
+
+    def _exception_edges(self, block: Block, explicit: bool) -> None:
+        """Wire ``block``'s exceptional exits.
+
+        ``explicit`` is True for ``raise`` statements (always wired);
+        implicit call-raises are wired only inside a ``try``.
+        """
+        if self._exc_stack:
+            self._exc_stack[-1].raisers.append(block)
+        elif explicit:
+            self._escape_exceptionally([(block, RAISE)])
+
+    def _escape_exceptionally(self, frontier: Frontier) -> None:
+        """Route ``frontier`` out of the function via RAISE, running
+        any enclosing finally bodies on the way."""
+        for body in reversed(self._finally_stack):
+            frontier = self.seq(body, frontier)
+            if not frontier:
+                return
+        _connect(frontier, self.cfg.raise_exit, RAISE)
+
+    def _escape(self, frontier: Frontier, target: Block, kind: str, depth: int) -> None:
+        """Route ``frontier`` to ``target`` through the finally bodies
+        above ``depth`` on the stack (for return/break/continue)."""
+        for body in reversed(self._finally_stack[depth:]):
+            frontier = self.seq(body, frontier)
+            if not frontier:
+                return
+        _connect(frontier, target, kind)
+
+    # -- statements -----------------------------------------------------
+    def seq(self, stmts: Sequence[ast.stmt], frontier: Frontier) -> Frontier:
+        for stmt in stmts:
+            if not frontier:
+                break
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            block = self._new(stmt, [stmt.value] if stmt.value else [])
+            _connect(frontier, block, None)
+            if stmt_can_raise(block.parts):
+                self._exception_edges(block, explicit=False)
+            self._escape([(block, RETURN)], self.cfg.exit, RETURN, 0)
+            return []
+        if isinstance(stmt, ast.Raise):
+            block = self._new(stmt, [p for p in (stmt.exc, stmt.cause) if p])
+            _connect(frontier, block, None)
+            self._exception_edges(block, explicit=True)
+            return []
+        if isinstance(stmt, ast.Break):
+            block = self._new(stmt, [])
+            _connect(frontier, block, None)
+            if self._loop_stack:
+                break_frontier, _ = self._loop_stack[-1]
+                break_frontier.append((block, BREAK))
+            return []
+        if isinstance(stmt, ast.Continue):
+            block = self._new(stmt, [])
+            _connect(frontier, block, None)
+            if self._loop_stack:
+                _, continue_target = self._loop_stack[-1]
+                block.succs.append((continue_target, CONTINUE))
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # nested definitions execute as a single binding step; their
+            # bodies get their own CFGs when the analyses recurse
+            block = self._new(stmt, [])
+            _connect(frontier, block, None)
+            return [(block, NEXT)]
+        # simple statement: one block, the whole statement executes here
+        block = self._new(stmt, [stmt])
+        _connect(frontier, block, None)
+        if stmt_can_raise(block.parts):
+            self._exception_edges(block, explicit=isinstance(stmt, ast.Assert))
+        return [(block, NEXT)]
+
+    # -- compounds ------------------------------------------------------
+    def _if(self, stmt: ast.If, frontier: Frontier) -> Frontier:
+        test = self._new(stmt, [stmt.test], role="test")
+        _connect(frontier, test, None)
+        if stmt_can_raise(test.parts):
+            self._exception_edges(test, explicit=False)
+        body_out = self.seq(stmt.body, [(test, TRUE)])
+        else_out = self.seq(stmt.orelse, [(test, FALSE)]) if stmt.orelse else [(test, FALSE)]
+        return body_out + else_out
+
+    def _while(self, stmt: ast.While, frontier: Frontier) -> Frontier:
+        test = self._new(stmt, [stmt.test], role="test")
+        _connect(frontier, test, None)
+        if stmt_can_raise(test.parts):
+            self._exception_edges(test, explicit=False)
+        break_frontier: Frontier = []
+        self._loop_stack.append((break_frontier, test))
+        body_out = self.seq(stmt.body, [(test, TRUE)])
+        self._loop_stack.pop()
+        _connect(body_out, test, LOOP)
+        exits: Frontier = [] if _always_true(stmt.test) else [(test, FALSE)]
+        if stmt.orelse:
+            exits = self.seq(stmt.orelse, exits)
+        return exits + break_frontier
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, frontier: Frontier) -> Frontier:
+        head = self._new(stmt, [stmt.iter, stmt.target], role="test")
+        _connect(frontier, head, None)
+        if stmt_can_raise(head.parts):
+            self._exception_edges(head, explicit=False)
+        break_frontier: Frontier = []
+        self._loop_stack.append((break_frontier, head))
+        body_out = self.seq(stmt.body, [(head, TRUE)])
+        self._loop_stack.pop()
+        _connect(body_out, head, LOOP)
+        exits: Frontier = [(head, FALSE)]
+        if stmt.orelse:
+            exits = self.seq(stmt.orelse, exits)
+        return exits + break_frontier
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, frontier: Frontier) -> Frontier:
+        head = self._new(
+            stmt,
+            [item.context_expr for item in stmt.items]
+            + [item.optional_vars for item in stmt.items if item.optional_vars],
+        )
+        _connect(frontier, head, None)
+        if stmt_can_raise(head.parts):
+            self._exception_edges(head, explicit=False)
+        return self.seq(stmt.body, [(head, NEXT)])
+
+    def _match(self, stmt: ast.Match, frontier: Frontier) -> Frontier:
+        head = self._new(stmt, [stmt.subject], role="test")
+        _connect(frontier, head, None)
+        out: Frontier = []
+        for case in stmt.cases:
+            out.extend(self.seq(case.body, [(head, TRUE)]))
+        # no case may match: fall through
+        out.append((head, FALSE))
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: Frontier) -> Frontier:
+        ctx = _TryContext()
+        self._exc_stack.append(ctx)
+        if stmt.finalbody:
+            self._finally_stack.append(stmt.finalbody)
+        body_out = self.seq(stmt.body, frontier)
+        self._exc_stack.pop()
+
+        # normal completion: else-block, then the (normal) finally
+        if stmt.orelse:
+            body_out = self.seq(stmt.orelse, body_out)
+        handler_outs: Frontier = []
+        exceptional: Frontier = []
+        if stmt.handlers:
+            # handler bodies run with this try's finally still pending
+            # (a return inside a handler flows through it), but their
+            # own raises belong to the *enclosing* handler set
+            for handler in stmt.handlers:
+                entry = self._new(handler, [handler.type] if handler.type else [], role="handler")
+                for raiser in ctx.raisers:
+                    raiser.succs.append((entry, EXCEPT))
+                h_out = self.seq(handler.body, [(entry, NEXT)])
+                handler_outs.extend(h_out)
+        else:
+            # no handlers: every raiser continues exceptionally (via the
+            # finally, if any, then out of this try)
+            exceptional = [(r, RAISE) for r in ctx.raisers]
+
+        if stmt.finalbody:
+            self._finally_stack.pop()
+            fin_normal = self.seq(stmt.finalbody, body_out + handler_outs)
+            if exceptional:
+                fin_exc = self.seq(stmt.finalbody, exceptional)
+                if self._exc_stack:
+                    for block, _ in fin_exc:
+                        self._exc_stack[-1].raisers.append(block)
+                else:
+                    self._escape_exceptionally(fin_exc)
+            return fin_normal
+        if exceptional:
+            if self._exc_stack:
+                for block, _ in exceptional:
+                    self._exc_stack[-1].raisers.append(block)
+            else:
+                self._escape_exceptionally(exceptional)
+        return body_out + handler_outs
+
+
+class _TryContext:
+    """Raising blocks collected while building one try body."""
+
+    __slots__ = ("raisers",)
+
+    def __init__(self) -> None:
+        self.raisers: list[Block] = []
+
+
+def _always_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function definition."""
+    return CFG(func)

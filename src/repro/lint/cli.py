@@ -1,7 +1,11 @@
 """``python -m repro lint`` — the command-line face of the pass.
 
 Exit status is 0 when clean, 1 when violations were found, 2 on usage
-or parse errors — so CI can gate on it directly.
+or parse errors — so CI can gate on it directly. The cache under
+``.lint-cache/`` is on by default (``--no-cache`` for a cold run);
+``--baseline``/``--write-baseline`` let a new checker land before its
+sweep finishes, and ``--fix-suppressions`` rewrites stale
+``# lint: ok(...)`` comments in place.
 """
 
 from __future__ import annotations
@@ -9,8 +13,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
-from repro.lint.engine import ALL_CHECKERS, lint_paths
+from repro.lint.baseline import filter_new, load_baseline, write_baseline
+from repro.lint.engine import KNOWN_CODES, run_lint
+from repro.lint.suppress import fix_suppressions
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,6 +43,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated checker codes to run (default: all)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="fail only on violations not recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current violations to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--fix-suppressions",
+        action="store_true",
+        help="rewrite stale `# lint: ok(...)` comments in place (LNT001)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=".lint-cache",
+        help="cache directory (default: .lint-cache)",
+    )
     return parser
 
 
@@ -43,25 +78,60 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
 
-    checkers = list(ALL_CHECKERS)
+    select = None
     if args.select:
-        wanted = {c.strip() for c in args.select.split(",") if c.strip()}
-        known = {c.code for c in ALL_CHECKERS}
-        unknown = wanted - known
+        select = sorted({c.strip() for c in args.select.split(",") if c.strip()})
+        unknown = set(select) - KNOWN_CODES
         if unknown:
             print(
                 f"unknown checker code(s): {', '.join(sorted(unknown))} "
-                f"(known: {', '.join(sorted(known))})",
+                f"(known: {', '.join(sorted(KNOWN_CODES))})",
                 file=sys.stderr,
             )
             return 2
-        checkers = [c for c in ALL_CHECKERS if c.code in wanted]
 
+    cache_dir = None if args.no_cache else args.cache_dir
     try:
-        violations = lint_paths(args.paths, checkers=checkers)
+        run = run_lint(args.paths, select=select, cache_dir=cache_dir)
     except (OSError, SyntaxError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.fix_suppressions:
+        fixed = 0
+        for fs in run.files:
+            stale = [
+                e
+                for e in fs.suppressions.stale_entries(frozenset({"*"} | KNOWN_CODES))
+                if "LNT001" not in fs.exempt
+            ]
+            if stale:
+                Path(fs.path).write_text(fix_suppressions(fs.source, stale))
+                fixed += len(stale)
+        print(
+            f"repro lint: rewrote {fixed} stale suppression"
+            f"{'s' if fixed != 1 else ''}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.write_baseline:
+        write_baseline(run.violations, args.write_baseline)
+        print(
+            f"repro lint: baseline of {len(run.violations)} violation"
+            f"{'s' if len(run.violations) != 1 else ''} "
+            f"written to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    violations = run.violations
+    if args.baseline:
+        try:
+            violations = filter_new(violations, load_baseline(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"repro lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
 
     if args.format == "json":
         print(json.dumps([v.to_json() for v in violations], indent=2))
@@ -69,10 +139,12 @@ def main(argv: list[str] | None = None) -> int:
         for v in violations:
             print(v.render())
         n = len(violations)
-        print(
+        summary = (
             f"repro lint: {n} violation{'s' if n != 1 else ''} found"
             if n
-            else "repro lint: clean",
-            file=sys.stderr,
+            else "repro lint: clean"
         )
+        if run.cache is not None:
+            summary += f" ({run.cache.hits} cached, {run.cache.misses} analyzed)"
+        print(summary, file=sys.stderr)
     return 1 if violations else 0

@@ -1,0 +1,131 @@
+"""DET005 — the transitive-closure determinism checker.
+
+DET001/DET002/DET004 flag an entropy primitive *where it is written*.
+DET005 flags it *where it matters*: any function reachable from sim
+context — a scheduled callback, a :class:`Process` tick, a middleware
+timer/subscription, an ``on_start``/``on_tick`` hook — that transitively
+reads wall-clock time, ambient entropy, or unseeded randomness. A
+``time.time()`` two helpers below a DES callback corrupts replay just
+as surely as one inside it; the per-file rules cannot see the chain,
+this one reports it end to end::
+
+    fixture.py:12:8 DET005 sim callback 'Worker.tick' reaches wall-clock
+    read time.time(): Worker.tick -> poll_status -> stamp
+    (time.time at util.py:40); route time through sim.now() and
+    randomness through sim.rng
+
+A primitive that is *sanctioned at the sink* — carrying an inline
+``# lint: ok(DET00x): reason`` or living in a file the allowlist
+exempts for that code — is trusted from every caller and never
+produces a chain. Routing the same helper through ``sim.rng`` /
+``sim.now()`` removes the sink entirely, which is the fix the message
+asks for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.lint.callgraph import ProjectIndex
+from repro.lint.violations import Violation
+
+#: ``sanctioned(path, code, line)`` — True when the entropy primitive
+#: at that location is explicitly allowed (suppression or allowlist).
+Sanctioned = Callable[[str, str, int], bool]
+
+
+class DeterminismClosure:
+    """Whole-program reachability from sim roots to entropy sinks."""
+
+    code = "DET005"
+
+    @classmethod
+    def run_project(
+        cls, index: ProjectIndex, sanctioned: Sanctioned
+    ) -> list[Violation]:
+        # Functions with at least one unsanctioned entropy primitive.
+        sinks: dict[tuple[str, str], list[dict[str, Any]]] = {}
+        for key, info in index.functions.items():
+            hot = [
+                e
+                for e in info["entropy"]
+                if not sanctioned(key[0], e["code"], e["line"])
+            ]
+            if hot:
+                sinks[key] = hot
+        if not sinks:
+            return []
+
+        violations: list[Violation] = []
+        for root, _reg_line in index.roots():
+            violations.extend(cls._chains_from(index, root, sinks))
+        return violations
+
+    @classmethod
+    def _chains_from(
+        cls,
+        index: ProjectIndex,
+        root: tuple[str, str],
+        sinks: dict[tuple[str, str], list[dict[str, Any]]],
+    ) -> list[Violation]:
+        """BFS from ``root``; one violation per reached sink function.
+
+        BFS order makes the reported chain a *shortest* call chain, so
+        the message is the tightest explanation of the reach. The root
+        itself is excluded — a primitive directly inside a callback is
+        already flagged by the per-file rule at full precision.
+        """
+        parent: dict[tuple[str, str], tuple[tuple[str, str], int]] = {}
+        seen = {root}
+        queue = deque([root])
+        out: list[Violation] = []
+        while queue:
+            cur = queue.popleft()
+            for callee, line in index.callees(cur):
+                if callee in seen:
+                    continue
+                seen.add(callee)
+                parent[callee] = (cur, line)
+                if callee in sinks:
+                    out.append(cls._report(index, root, callee, sinks[callee], parent))
+                queue.append(callee)
+        return out
+
+    @classmethod
+    def _report(
+        cls,
+        index: ProjectIndex,
+        root: tuple[str, str],
+        sink: tuple[str, str],
+        entropy: list[dict[str, Any]],
+        parent: dict[tuple[str, str], tuple[tuple[str, str], int]],
+    ) -> Violation:
+        # Reconstruct root -> ... -> sink and the first hop's call line,
+        # which is where the violation is anchored (and suppressible).
+        chain = [sink]
+        while chain[-1] != root:
+            chain.append(parent[chain[-1]][0])
+        chain.reverse()
+        first_hop_line = parent[chain[1]][1]
+        names = " -> ".join(q for _p, q in chain)
+        prim = entropy[0]
+        kind = {
+            "DET001": "wall-clock read",
+            "DET002": "unseeded randomness",
+            "DET004": "ambient entropy",
+        }[prim["code"]]
+        root_info = index.functions[root]
+        return Violation(
+            path=root[0],
+            line=first_hop_line,
+            col=0,
+            code=cls.code,
+            message=(
+                f"sim callback {root_info['qualname']!r} reaches {kind} "
+                f"{prim['name']}(): {names} ({prim['name']} at "
+                f"{sink[0]}:{prim['line']}); route time through sim.now() "
+                "and randomness through sim.rng"
+            ),
+        )

@@ -1,0 +1,194 @@
+"""SIM005 — static event-lifecycle misuse.
+
+The PR 7 kernel made ``Event`` handles *slot-reused*: a periodic
+:class:`Process` tick re-arms the same object via ``repush``/
+``reschedule_after`` instead of allocating a new one. That buys the
+2x cancel/re-arm churn win, and it creates a precise contract for
+holders of a handle (spelled out in ``sim/events.py``):
+
+* ``repush`` is legal **only on a FIRED event** — re-arming a PENDING
+  or CANCELLED handle raises at runtime (``reschedule_after`` is the
+  state-checked alternative);
+* after handing a handle back to ``repush``/``reschedule_after``, its
+  ``.time``/``.seq`` belong to the *next* firing — read them before
+  re-arming, never after;
+* a re-armed handle stored into a container outlives the callback that
+  owned it, and whoever pops it later holds a handle whose identity has
+  been recycled — the exact class of bug PR 7 fixed at runtime.
+
+SIM005 flags all three statically, per function, over the CFG:
+
+1. ``q.repush(h, ...)`` with no *fired evidence* for ``h`` in the
+   function — evidence is ``h`` being assigned from ``pop``/
+   ``pop_due``, or the function testing ``h.fired`` / comparing
+   ``h.state``;
+2. a read of ``h.time``/``h.seq`` on any path *after* ``h`` was passed
+   to ``repush``/``reschedule_after`` (until ``h`` is reassigned);
+3. the result of ``repush``/``reschedule_after`` stored into a
+   container (``append``/``add``/``insert`` argument, or a
+   subscript-assign RHS). Binding to a plain attribute
+   (``self._tick = ...``) is the sanctioned ownership pattern and is
+   not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker
+from repro.lint.cfg import Block, build_cfg
+
+REARM_METHODS = frozenset({"repush", "reschedule_after"})
+#: Handle fields that are per-firing and stale after a re-arm.
+STALE_FIELDS = frozenset({"time", "seq"})
+#: Calls whose result is a handle known to have fired.
+FIRED_SOURCES = frozenset({"pop", "pop_due"})
+_CONTAINER_SINKS = frozenset({"append", "add", "insert", "put"})
+
+
+def _terminal(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _handle_key(node: ast.AST) -> str | None:
+    """Load/Store-insensitive identity of a handle expression.
+
+    ``ast.dump`` would distinguish ``h = q.pop()`` (Store) from
+    ``q.repush(h, ...)`` (Load); the handle is the same.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _handle_key(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def _fired_evidence(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Keys of handle expressions the function knows to be FIRED."""
+    evidence: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _terminal(node.value.func) in FIRED_SOURCES:
+                for target in node.targets:
+                    key = _handle_key(target)
+                    if key is not None:
+                        evidence.add(key)
+        elif isinstance(node, ast.Attribute):
+            if node.attr in ("fired", "state"):
+                # .fired test or any read/comparison of .state
+                key = _handle_key(node.value)
+                if key is not None:
+                    evidence.add(key)
+    return evidence
+
+
+class EventLifecycleChecker(Checker):
+    """SIM005: slot-reused handles used outside their lifecycle."""
+
+    code = "SIM005"
+    message = "slot-reused event handle misused"
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def _check(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        evidence = _fired_evidence(func)
+        cfg = build_cfg(func)
+        rearms: list[tuple[Block, ast.Call, str]] = []
+        for block in cfg.stmt_blocks():
+            for part in block.parts:
+                for sub in ast.walk(part):
+                    if not (isinstance(sub, ast.Call) and sub.args):
+                        continue
+                    name = _terminal(sub.func)
+                    if name not in REARM_METHODS:
+                        continue
+                    handle = _handle_key(sub.args[0])
+                    if handle is not None:
+                        rearms.append((block, sub, handle))
+                    if name == "repush" and (handle is None or handle not in evidence):
+                        self.report(
+                            sub,
+                            "repush of a handle with no evidence it has "
+                            "FIRED (raises on pending/cancelled handles); "
+                            "check .fired first or use reschedule_after",
+                        )
+        for block, call, handle in rearms:
+            self._check_stale_reads(block, call, handle)
+        self._check_retention(func)
+
+    # -- rule 2: .time/.seq after re-arm --------------------------------
+    def _check_stale_reads(self, start: Block, call: ast.Call, handle: str) -> None:
+        seen: set[int] = set()
+        stack = [succ for succ, _k in start.succs]
+        while stack:
+            block = stack.pop()
+            if block.bid in seen or block.role in ("exit", "raise_exit"):
+                continue
+            seen.add(block.bid)
+            stale = self._stale_read(block, handle)
+            if stale is not None:
+                self.report(
+                    stale,
+                    f"reads .{stale.attr} of a handle already handed back to "
+                    f"{_terminal(call.func)}() at line {call.lineno}; the "
+                    "slot is re-armed — cache time/seq before re-arming",
+                )
+                continue
+            if self._reassigns(block, handle):
+                continue
+            stack.extend(succ for succ, _k in block.succs)
+
+    def _stale_read(self, block: Block, handle: str) -> ast.Attribute | None:
+        for part in block.parts:
+            for sub in ast.walk(part):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in STALE_FIELDS
+                    and _handle_key(sub.value) == handle
+                ):
+                    return sub
+        return None
+
+    def _reassigns(self, block: Block, handle: str) -> bool:
+        for part in block.parts:
+            for sub in ast.walk(part):
+                if isinstance(sub, ast.Assign) and any(
+                    _handle_key(t) == handle for t in sub.targets
+                ):
+                    return True
+        return False
+
+    # -- rule 3: re-armed handle retained in a container ----------------
+    def _check_retention(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and _terminal(node.func) in _CONTAINER_SINKS:
+                for arg in node.args:
+                    if self._is_rearm_call(arg):
+                        self.report(
+                            arg,
+                            "slot-reused handle stored into a container; it "
+                            "will be silently re-armed under the holder — "
+                            "bind it to an attribute the owner controls",
+                        )
+            elif isinstance(node, ast.Assign) and self._is_rearm_call(node.value):
+                if any(isinstance(t, ast.Subscript) for t in node.targets):
+                    self.report(
+                        node.value,
+                        "slot-reused handle stored into a container; it "
+                        "will be silently re-armed under the holder — "
+                        "bind it to an attribute the owner controls",
+                    )
+
+    @staticmethod
+    def _is_rearm_call(node: ast.expr) -> bool:
+        return isinstance(node, ast.Call) and _terminal(node.func) in REARM_METHODS

@@ -1,0 +1,208 @@
+"""PRO001 — 2PC migration protocol discipline.
+
+``repro.recovery.protocol.TwoPhaseMigrator`` (and anything shaped like
+it) drives a PREPARE -> TRANSFER -> COMMIT state machine whose safety
+argument — zero duplicate completions across crash-split batches —
+depends on every phase method either *advancing* the machine, *aborting*
+it, or *finalizing* the in-flight registry before control leaves. A
+phase method that returns early without doing any of those leaves a
+ticket stranded in ``inflight`` forever: the lease supervisor times it
+out eventually, but the protocol's own invariant is already broken.
+
+The checker recognizes a protocol-driver class structurally: its method
+names cover at least two of the phase tokens (``prepare``,
+``transfer``, ``commit``) and at least one abort token (``abort``,
+``rollback``). In each phase method, every CFG path must contain an
+**action** —
+
+* a call whose terminal name carries a phase or abort token (this
+  includes the ``self._after(..., lambda: self._commit(t))`` scheduling
+  idiom — the lambda body is scanned), or
+* a registry finalization: ``del``/``.pop`` on an attribute whose name
+  contains ``inflight`` or ``pending``
+
+— unless the path exits through a *guard return*: a ``return`` that is
+the sole body of an ``if`` and yields nothing truthy (``return``,
+``return None``, ``return False``). Guards like "this ticket is no
+longer mine, do nothing" are the protocol's idempotence armor and are
+explicitly legal.
+
+Two call-site rules ride along: constructing a ``*Migrator`` with only
+one of ``on_commit``/``on_abort`` (a handoff that celebrates success
+but never hears about failure, or vice versa), and discarding the
+result of ``<migrator>.request(...)`` — the boolean is the only signal
+that the transaction was refused and the caller must release whatever
+it reserved.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker, dotted_name
+from repro.lint.cfg import build_cfg
+
+PHASE_TOKENS = ("prepare", "transfer", "commit")
+ABORT_TOKENS = ("abort", "rollback")
+#: Attribute names that hold the in-flight transaction registry.
+REGISTRY_TOKENS = ("inflight", "pending")
+
+
+def _tokens_in(name: str, tokens: tuple[str, ...]) -> set[str]:
+    low = name.lower()
+    return {t for t in tokens if t in low}
+
+
+def _is_protocol_class(node: ast.ClassDef) -> bool:
+    phases: set[str] = set()
+    aborts: set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            phases |= _tokens_in(stmt.name, PHASE_TOKENS)
+            aborts |= _tokens_in(stmt.name, ABORT_TOKENS)
+    return len(phases) >= 2 and bool(aborts)
+
+
+def _is_action(part: ast.AST) -> bool:
+    """Whether this fragment advances, aborts, or finalizes the FSM."""
+    for sub in ast.walk(part):
+        if isinstance(sub, ast.Call):
+            name: str | None = None
+            if isinstance(sub.func, ast.Attribute):
+                name = sub.func.attr
+            elif isinstance(sub.func, ast.Name):
+                name = sub.func.id
+            if name is not None:
+                if _tokens_in(name, PHASE_TOKENS + ABORT_TOKENS):
+                    return True
+                if name == "pop" and _touches_registry(sub.func):
+                    return True
+        elif isinstance(sub, ast.Delete):
+            if any(_touches_registry(t) for t in sub.targets):
+                return True
+    return False
+
+
+def _touches_registry(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and any(
+            t in sub.attr.lower() for t in REGISTRY_TOKENS
+        ):
+            return True
+    return False
+
+
+def _guard_returns(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[int]:
+    """ids() of Return nodes that are idempotence guards (see module doc)."""
+    out: set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.If) and len(node.body) == 1:
+            ret = node.body[0]
+            if isinstance(ret, ast.Return) and _yields_nothing(ret.value):
+                out.add(id(ret))
+    return out
+
+
+def _yields_nothing(value: ast.expr | None) -> bool:
+    return value is None or (
+        isinstance(value, ast.Constant) and not bool(value.value)
+    )
+
+
+class ProtocolFSMChecker(Checker):
+    """PRO001: every phase-method exit advances, aborts, or finalizes."""
+
+    code = "PRO001"
+    message = "protocol phase method exits without advancing or aborting"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _is_protocol_class(node):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _tokens_in(stmt.name, PHASE_TOKENS) and not _tokens_in(
+                        stmt.name, ABORT_TOKENS
+                    ):
+                        self._check_phase(stmt)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # ctor handler asymmetry: *Migrator(..., on_commit=...) without
+        # on_abort (or the reverse) hears about one outcome only
+        name = dotted_name(node.func, self.aliases)
+        terminal = name.split(".")[-1] if name else None
+        if terminal is not None and terminal.endswith("Migrator"):
+            given = {
+                kw.arg
+                for kw in node.keywords
+                if kw.arg in ("on_commit", "on_abort")
+                and not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+            }
+            if len(given) == 1:
+                missing = ({"on_commit", "on_abort"} - given).pop()
+                self.report(
+                    node,
+                    f"{terminal} constructed with {given.pop()!r} but no "
+                    f"{missing!r}; a 2PC driver must observe both outcomes",
+                )
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # discarded `<migrator>.request(...)` result
+        call = node.value
+        if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
+            if call.func.attr == "request":
+                recv = dotted_name(call.func.value, self.aliases) or ""
+                if "migrator" in recv.lower():
+                    self.report(
+                        call,
+                        "result of migrator.request() discarded; False means "
+                        "the transaction was refused and reservations must be "
+                        "released",
+                    )
+        self.generic_visit(node)
+
+    def _check_phase(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cfg = build_cfg(func)
+        guards = _guard_returns(func)
+        acted_cache = {
+            b.bid: any(_is_action(p) for p in b.parts) for b in cfg.blocks
+        }
+        # DFS over (block, acted-yet?); flag the step from which an
+        # action-free path escapes (once per escaping step)
+        flagged: set[int] = set()
+        seen: set[tuple[int, bool]] = set()
+        stack: list[tuple[object, bool, object]] = [
+            (succ, acted_cache[succ.bid] if succ.role != "exit" else False, cfg.entry)
+            for succ, _k in cfg.entry.succs
+        ]
+        while stack:
+            block, acted, prev = stack.pop()
+            if block.role in ("exit", "raise_exit"):
+                if acted or block.role == "raise_exit":
+                    # exceptions crash the run loudly; PRO001 polices the
+                    # silent returns
+                    continue
+                node = getattr(prev, "node", None)
+                if isinstance(node, ast.Return) and id(node) in guards:
+                    continue
+                bid = getattr(prev, "bid", -1)
+                if bid not in flagged:
+                    flagged.add(bid)
+                    anchor = node if node is not None else func
+                    self.report(
+                        anchor,
+                        f"phase method {func.name!r} can exit here without "
+                        "advancing the PREPARE/TRANSFER/COMMIT machine, "
+                        "aborting, or finalizing the in-flight registry",
+                    )
+                continue
+            state = (block.bid, acted)
+            if state in seen:
+                continue
+            seen.add(state)
+            for succ, _k in block.succs:
+                nxt = acted or (
+                    succ.role not in ("exit", "raise_exit") and acted_cache[succ.bid]
+                )
+                stack.append((succ, nxt, block))
+        return

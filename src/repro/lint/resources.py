@@ -1,0 +1,242 @@
+"""RES001 — path-sensitive acquire/release pairing.
+
+The repo's resource protocols are paired method calls: a worker slot is
+``occupy``-ed and must be ``vacate``-d, a paused graph node must be
+resumed, a lease granted must be released, admission reserved must be
+released. A path that leaves the function while still holding the
+resource — an early ``return``, an exception edge out of a ``try``, a
+``break`` past the cleanup — strands capacity forever in a DES run,
+because nothing else will ever give it back.
+
+The checker walks the per-function CFG from every acquire site and
+demands that each reachable path hits one of:
+
+* the paired release on the same receiver (receiver matched by AST
+  shape; when no same-receiver release exists in the function, any
+  release of the right name counts — locals often alias the holder);
+* an *ownership transfer*: storing into an attribute or container
+  (``self._active.append(job)``, ``self.leases[name] = lease``) hands
+  the obligation to whoever reads that structure later, which is the
+  repo's sanctioned cross-callback pattern.
+
+Conditional acquires are honoured: when the acquire result feeds a
+test (``if not pool.request_admission(spec): return``), only the
+branch on which the acquire *succeeded* is required to release.
+
+A function containing acquires but **no** paired release at all is
+skipped entirely — that is the split-callback pattern (``_start``
+occupies, ``_finish`` vacates) and pairing is a cross-function
+property there; RES001 only claims what the CFG can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+
+from repro.lint.base import Checker
+from repro.lint.cfg import CFG, EXCEPT, RAISE, Block, build_cfg
+
+#: acquire method name -> paired release method name.
+RESOURCE_PROTOCOLS: dict[str, str] = {
+    "occupy": "vacate",
+    "pause_node": "resume_node",
+    "begin_pause": "end_pause",
+    "grant": "release",
+    "request_admission": "release",
+    "reserve": "release",
+    "attach": "detach",
+}
+
+#: Container mutations that transfer ownership of the obligation.
+TRANSFER_METHODS = frozenset({"append", "add", "insert", "setdefault", "put", "register"})
+
+_RELEASE_NAMES = frozenset(RESOURCE_PROTOCOLS.values())
+
+
+def _polarity(expr: ast.expr, match: Callable[[ast.AST], bool]) -> bool | None:
+    """Branch on which ``match`` holds true: True/False edge, or None.
+
+    Returns True when the matched node sits under an even number of
+    ``not``s (the condition is truthy exactly when the match is), False
+    under an odd number, None when no node matches.
+    """
+    found: list[bool] = []
+
+    def rec(node: ast.AST, neg: bool) -> None:
+        if match(node):
+            found.append(neg)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            rec(node.operand, not neg)
+            return
+        for child in ast.iter_child_nodes(node):
+            rec(child, neg)
+
+    rec(expr, False)
+    if not found:
+        return None
+    return not found[0]
+
+
+def _is_transfer(block: Block) -> bool:
+    """Whether this step stores into an attribute/container."""
+    for part in block.parts:
+        for sub in ast.walk(part):
+            if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                if any(isinstance(t, (ast.Attribute, ast.Subscript)) for t in targets):
+                    return True
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in TRANSFER_METHODS
+                and sub.args
+            ):
+                return True
+    return False
+
+
+class _AcquireSite:
+    __slots__ = ("block", "call", "name", "recv")
+
+    def __init__(self, block: Block, call: ast.Call) -> None:
+        self.block = block
+        self.call = call
+        assert isinstance(call.func, ast.Attribute)
+        self.name = call.func.attr
+        self.recv = ast.dump(call.func.value)
+
+
+class ResourcePairingChecker(Checker):
+    """RES001: an acquire must not escape the function unreleased."""
+
+    code = "RES001"
+    message = "resource acquire may escape without its paired release"
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def _check(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cfg = build_cfg(func)
+        acquires: list[_AcquireSite] = []
+        releases: dict[str, list[tuple[int, str]]] = {}
+        for block in cfg.stmt_blocks():
+            for part in block.parts:
+                for sub in ast.walk(part):
+                    if not (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)):
+                        continue
+                    name = sub.func.attr
+                    if name in RESOURCE_PROTOCOLS:
+                        acquires.append(_AcquireSite(block, sub))
+                    if name in _RELEASE_NAMES:
+                        releases.setdefault(name, []).append(
+                            (block.bid, ast.dump(sub.func.value))
+                        )
+        for acq in acquires:
+            rel_name = RESOURCE_PROTOCOLS[acq.name]
+            candidates = releases.get(rel_name, [])
+            if not candidates:
+                continue  # split-callback protocol: out of scope
+            same_recv = [bid for bid, recv in candidates if recv == acq.recv]
+            satisfied = set(same_recv) if same_recv else {bid for bid, _ in candidates}
+            escape = self._find_leak(cfg, acq, satisfied)
+            if escape is not None:
+                kind, line = escape
+                self.report(
+                    acq.call,
+                    f"'{acq.name}' acquired here may escape via {kind} "
+                    f"(line {line}) without '{rel_name}'; release on every "
+                    "path or store the holder for a later callback",
+                )
+
+    def _find_leak(
+        self, cfg: CFG, acq: _AcquireSite, satisfied: set[int]
+    ) -> tuple[str, int] | None:
+        """First escaping path from the acquire, or None if all release.
+
+        Returns ``(escape kind, line of the escaping step)``.
+        """
+        held_name = self._captured_name(acq.block)
+        start = self._initial_edges(acq)
+        if not self._release_reachable(acq, start, satisfied):
+            # no path from this acquire ever releases: the releases in
+            # the function concern *other* holdings (release-old /
+            # grant-new rotation) and the new holding is deliberately
+            # long-lived. Flagging only release-asymmetry is what makes
+            # the rule's positives believable.
+            return None
+        # (block, edge kind, predecessor, name still untested?)
+        stack = [(succ, kind, acq.block, held_name) for succ, kind in start]
+        seen: set[tuple[int, str | None]] = set()
+        while stack:
+            block, _kind, prev, name = stack.pop()
+            if block.role == "exit":
+                return ("return", prev.line)
+            if block.role == "raise_exit":
+                return ("an exception", prev.line)
+            state = (block.bid, name)
+            if state in seen:
+                continue
+            seen.add(state)
+            if block.bid in satisfied or _is_transfer(block):
+                continue
+            succs = block.succs
+            if name is not None and block.role == "test":
+                pol = _polarity(
+                    block.parts[0],
+                    lambda n: isinstance(n, ast.Name) and n.id == name,
+                )
+                if pol is not None:
+                    # follow only the branch where the acquire succeeded
+                    want = "true" if pol else "false"
+                    succs = [(s, k) for s, k in block.succs if k == want] or succs
+                    name = None
+            stack.extend((s, k, block, name) for s, k in succs)
+        return None
+
+    def _release_reachable(
+        self, acq: _AcquireSite, start: list[tuple[Block, str]], satisfied: set[int]
+    ) -> bool:
+        seen: set[int] = set()
+        stack = [b for b, _k in start]
+        while stack:
+            block = stack.pop()
+            if block.bid in seen:
+                continue
+            seen.add(block.bid)
+            if block.bid in satisfied:
+                return True
+            stack.extend(s for s, _k in block.succs)
+        return False
+
+    def _initial_edges(self, acq: _AcquireSite) -> list[tuple[Block, str]]:
+        """Successor edges on which the acquire actually succeeded.
+
+        Exception edges out of the acquire's own step are skipped (the
+        acquire itself failed), and when the acquire sits inside a
+        branch test only the succeeding polarity is followed.
+        """
+        edges = [(s, k) for s, k in acq.block.succs if k not in (EXCEPT, RAISE)]
+        if acq.block.role == "test":
+            pol = _polarity(acq.block.parts[0], lambda n: n is acq.call)
+            if pol is not None:
+                want = "true" if pol else "false"
+                held = [(s, k) for s, k in edges if k == want]
+                if held:
+                    return held
+        return edges
+
+    def _captured_name(self, block: Block) -> str | None:
+        """Name the acquire result is bound to, for later branch tests."""
+        node = block.node
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            return node.targets[0].id
+        return None

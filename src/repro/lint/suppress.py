@@ -4,26 +4,66 @@ Syntax, mirroring the familiar ``noqa`` shape but scoped to lint codes::
 
     t0 = time.perf_counter()  # lint: ok(DET001): wall-clock benchmark
     x = {a, b}
-    for v in x:               # lint: ok(DET003)
-        ...
+    for v in x:               # lint: ok(DET003): iteration order unused
 
     # lint: file-ok(SIM004): telemetry package calls itself non-nullably
 
-``ok(*)`` / ``file-ok(*)`` suppress every code. A reason after ``:`` is
-optional but encouraged — it is what the next reader sees instead of a
-red CI job.
+``ok(*)`` / ``file-ok(*)`` suppress every code. The reason after the
+second ``:`` is required by LNT001 — it is what the next reader sees
+instead of a red CI job.
+
+Every suppression is an :class:`Entry` that *tracks its own usage*:
+:meth:`SuppressionIndex.is_suppressed` records which codes each entry
+actually silenced, so after a full run the engine can ask
+:meth:`SuppressionIndex.stale_entries` for the unused-noqa analogue
+(LNT001) and ``--fix-suppressions`` can rewrite them away via
+:func:`fix_suppressions`.
 """
 
 from __future__ import annotations
 
 import re
 
-_LINE_RE = re.compile(r"#\s*lint:\s*ok\(([^)]*)\)")
-_FILE_RE = re.compile(r"#\s*lint:\s*file-ok\(([^)]*)\)")
+_LINE_RE = re.compile(r"#\s*lint:\s*ok\(([^)]*)\)(:\s*(\S.*))?")
+_FILE_RE = re.compile(r"#\s*lint:\s*file-ok\(([^)]*)\)(:\s*(\S.*))?")
 
 
 def _parse_codes(raw: str) -> frozenset[str]:
     return frozenset(c.strip() for c in raw.split(",") if c.strip())
+
+
+class Entry:
+    """One suppression comment, with its usage ledger."""
+
+    __slots__ = ("lineno", "codes", "reason", "file_level", "span", "used")
+
+    def __init__(
+        self,
+        lineno: int,
+        codes: frozenset[str],
+        reason: str | None,
+        file_level: bool,
+        span: tuple[int, int],
+    ) -> None:
+        #: Physical line the comment sits on.
+        self.lineno = lineno
+        self.codes = codes
+        self.reason = reason
+        self.file_level = file_level
+        #: (start, end) column span of the comment within its line,
+        #: so the fixer can strip exactly the suppression text.
+        self.span = span
+        #: Codes this entry actually silenced during the run.
+        self.used: set[str] = set()
+
+    def covers(self, code: str) -> bool:
+        return code in self.codes or "*" in self.codes
+
+    def unused_codes(self) -> frozenset[str]:
+        """Listed codes that silenced nothing ('*' counts as one code)."""
+        if "*" in self.codes:
+            return frozenset() if self.used else frozenset("*")
+        return self.codes - self.used
 
 
 class SuppressionIndex:
@@ -36,21 +76,92 @@ class SuppressionIndex:
     """
 
     def __init__(self, source: str) -> None:
-        self.line_codes: dict[int, frozenset[str]] = {}
-        self.file_codes: frozenset[str] = frozenset()
-        file_codes: set[str] = set()
+        self.entries: list[Entry] = []
+        self._by_line: dict[int, list[Entry]] = {}
+        self._file_entries: list[Entry] = []
         for lineno, line in enumerate(source.splitlines(), start=1):
-            m = _LINE_RE.search(line)
-            if m:
-                self.line_codes[lineno] = _parse_codes(m.group(1))
-            m = _FILE_RE.search(line)
-            if m:
-                file_codes.update(_parse_codes(m.group(1)))
-        self.file_codes = frozenset(file_codes)
+            for regex, file_level in ((_LINE_RE, False), (_FILE_RE, True)):
+                m = regex.search(line)
+                if m is None:
+                    continue
+                if not file_level and _FILE_RE.search(line):
+                    # `ok(` also matches inside `file-ok(`; prefer file-ok
+                    continue
+                entry = Entry(
+                    lineno,
+                    _parse_codes(m.group(1)),
+                    m.group(3).strip() if m.group(3) else None,
+                    file_level,
+                    m.span(),
+                )
+                self.entries.append(entry)
+                if file_level:
+                    self._file_entries.append(entry)
+                else:
+                    self._by_line.setdefault(lineno, []).append(entry)
 
     def is_suppressed(self, code: str, line: int) -> bool:
-        """Whether ``code`` reported at ``line`` is silenced."""
-        if code in self.file_codes or "*" in self.file_codes:
-            return True
-        codes = self.line_codes.get(line)
-        return codes is not None and (code in codes or "*" in codes)
+        """Whether ``code`` reported at ``line`` is silenced.
+
+        A hit is recorded on the matching entry's usage ledger, which
+        is what keeps LNT001 honest about *stale* suppressions.
+        """
+        hit = False
+        for entry in self._file_entries:
+            if entry.covers(code):
+                entry.used.add(code)
+                hit = True
+        for entry in self._by_line.get(line, ()):
+            if entry.covers(code):
+                entry.used.add(code)
+                hit = True
+        return hit
+
+    def stale_entries(self, checked_codes: frozenset[str]) -> list[Entry]:
+        """Entries that silenced nothing, among those we can judge.
+
+        An entry is judged only when every code it lists was actually
+        checked this run (``--select DET001`` must not declare a SIM002
+        suppression stale). ``ok(*)`` entries are judged only on a full
+        run, signalled by ``checked_codes`` containing ``"*"``.
+        """
+        out = []
+        for entry in self.entries:
+            if "*" in entry.codes:
+                judgeable = "*" in checked_codes
+            else:
+                judgeable = entry.codes <= checked_codes
+            if judgeable and entry.unused_codes():
+                out.append(entry)
+        return out
+
+
+def fix_suppressions(source: str, entries: list[Entry]) -> str:
+    """Rewrite ``source`` with the given stale entries removed/narrowed.
+
+    A fully-stale entry has its comment stripped (the line is dropped
+    when nothing else remains); a partially-stale one is narrowed to
+    the codes that were actually used.
+    """
+    by_line: dict[int, list[Entry]] = {}
+    for e in entries:
+        by_line.setdefault(e.lineno, []).append(e)
+    lines = source.splitlines(keepends=True)
+    for lineno, line_entries in by_line.items():
+        line = lines[lineno - 1]
+        ending = line[len(line.rstrip("\r\n")):]
+        body = line.rstrip("\r\n")
+        # rewrite right-to-left so earlier spans stay valid
+        for entry in sorted(line_entries, key=lambda e: e.span[0], reverse=True):
+            start, end = entry.span
+            keep = sorted(entry.codes & entry.used)
+            if keep:
+                kind = "file-ok" if entry.file_level else "ok"
+                reason = f": {entry.reason}" if entry.reason else ""
+                repl = f"# lint: {kind}({', '.join(keep)}){reason}"
+            else:
+                repl = ""
+            body = (body[:start] + repl + body[end:]).rstrip()
+        # a line that was only the suppression comment disappears
+        lines[lineno - 1] = body + ending if body else ""
+    return "".join(lines)

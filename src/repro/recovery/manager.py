@@ -267,6 +267,7 @@ def attach_recovery(
         store,
         cfg,
         on_commit=framework.switcher.record_migration,
+        on_abort=framework.switcher.record_aborted_migration,
         telemetry=telemetry,
     )
     supervisor = LeaseSupervisor(

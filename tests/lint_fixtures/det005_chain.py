@@ -1,0 +1,25 @@
+"""DET005 positive fixture: entropy two calls below a DES callback.
+
+``on_retry`` is registered with the kernel; nothing in it reads
+entropy directly, but ``on_retry -> backoff -> jitter`` ends at
+``random.random()``. Per-file rules see only ``jitter``; the closure
+must report the whole chain anchored at the callback.
+"""
+
+import random
+
+
+def jitter():
+    return random.random()
+
+
+def backoff():
+    return 0.5 + jitter()
+
+
+def on_retry():
+    return backoff()
+
+
+def install(sim):
+    sim.schedule_after(1.0, on_retry)

@@ -1,0 +1,22 @@
+"""DET005 negative fixture: the same shape routed through ``sim.rng``.
+
+Identical call chain to ``det005_chain``, but the randomness is drawn
+from the seeded generator handed down from the simulator — no entropy
+primitive anywhere, so the closure stays silent.
+"""
+
+
+def jitter(rng):
+    return rng.random()
+
+
+def backoff(rng):
+    return 0.5 + jitter(rng)
+
+
+def on_retry(rng):
+    return backoff(rng)
+
+
+def install(sim):
+    sim.schedule_after(1.0, lambda: on_retry(sim.rng))

@@ -1,0 +1,15 @@
+"""LNT001 fixture: one stale suppression, one reasonless, one clean."""
+
+import time
+
+
+def stale():
+    return 1  # lint: ok(DET001): nothing here ever read the clock
+
+
+def reasonless():
+    return time.time()  # lint: ok(DET001)
+
+
+def legitimate():
+    return time.time()  # lint: ok(DET001): operator-facing wall display

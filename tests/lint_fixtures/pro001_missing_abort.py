@@ -1,0 +1,36 @@
+"""PRO001 positive fixture: a phase method that drops its ticket.
+
+``_prepare``'s stale branch logs and returns without aborting or
+finalizing ``inflight`` (and the return is not a bare guard — it does
+work first, then walks away). ``build`` constructs the driver hearing
+about commits only.
+"""
+
+
+class ToyMigrator:
+    def __init__(self, graph, on_commit=None, on_abort=None):
+        self.graph = graph
+        self.on_commit = on_commit
+        self.on_abort = on_abort
+        self.inflight = {}
+
+    def _prepare(self, ticket):
+        if ticket.stale:
+            self.graph.log(ticket)
+            return True
+        self._transfer(ticket)
+
+    def _transfer(self, ticket):
+        self._commit(ticket)
+
+    def _commit(self, ticket):
+        if self.inflight.get(ticket.name) is not ticket:
+            return
+        del self.inflight[ticket.name]
+
+    def _abort_rollback(self, ticket):
+        del self.inflight[ticket.name]
+
+
+def build(graph):
+    return ToyMigrator(graph, on_commit=print)

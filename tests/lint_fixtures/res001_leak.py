@@ -1,0 +1,23 @@
+"""RES001 positive fixture: an exception-path ``vacate`` leak.
+
+The handler swallows the failure and returns — the worker slot stays
+occupied forever. The clean variant releases in ``finally``.
+"""
+
+
+def run_once(host, task):
+    host.occupy(task)
+    try:
+        task.execute()
+    except RuntimeError:
+        return False
+    host.vacate(task)
+    return True
+
+
+def run_clean(host, task):
+    host.occupy(task)
+    try:
+        return task.execute()
+    finally:
+        host.vacate(task)

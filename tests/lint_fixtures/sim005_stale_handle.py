@@ -1,0 +1,21 @@
+"""SIM005 positive fixture: all three lifecycle misuses.
+
+``rearm`` repushes with no evidence the handle fired; ``cache_after``
+reads ``.time`` after handing the handle back; ``retain`` stores a
+re-armed handle into a container.
+"""
+
+
+def rearm(self, queue):
+    queue.repush(self.tick, 5.0)
+
+
+def cache_after(queue, handles):
+    h = queue.pop()
+    queue.repush(h, 1.0)
+    handles.append(h.time)
+
+
+def retain(queue, bag, h):
+    if h.fired:
+        bag.append(queue.repush(h, 2.0))

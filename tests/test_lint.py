@@ -502,6 +502,11 @@ class TestEngine:
 # End-to-end CLI
 # ----------------------------------------------------------------------
 class TestCli:
+    @pytest.fixture(autouse=True)
+    def _isolate_cache(self, tmp_path, monkeypatch):
+        # the CLI's default cache dir is relative; keep it off the repo
+        monkeypatch.chdir(tmp_path)
+
     @pytest.fixture()
     def bad_tree(self, tmp_path):
         (tmp_path / "clean.py").write_text("def f(sim):\n    return sim.now()\n")
@@ -551,3 +556,613 @@ def test_repo_tree_is_clean():
     root = Path(__file__).resolve().parent.parent / "src" / "repro"
     vs = lint_paths([root])
     assert vs == [], "\n".join(v.render() for v in vs)
+
+
+# ----------------------------------------------------------------------
+# Fixture modules for the flow-aware checkers
+# ----------------------------------------------------------------------
+FIXTURES = __import__("pathlib").Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def lint_fixture(name: str, select: list[str] | None = None) -> list[Violation]:
+    return lint_paths([FIXTURES / name], allowlist=(), select=select)
+
+
+# ----------------------------------------------------------------------
+# CFG builder
+# ----------------------------------------------------------------------
+class TestCfg:
+    def _cfg(self, src: str):
+        import ast
+
+        from repro.lint.cfg import build_cfg
+
+        tree = ast.parse(textwrap.dedent(src))
+        return build_cfg(tree.body[0])
+
+    def test_if_has_two_way_branch(self):
+        cfg = self._cfg(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        test = next(b for b in cfg.blocks if b.role == "test")
+        assert sorted(k for _b, k in test.succs) == ["false", "true"]
+
+    def test_return_reaches_exit(self):
+        cfg = self._cfg("def f():\n    return 1\n")
+        ret = next(b for b in cfg.stmt_blocks())
+        assert any(b is cfg.exit for b, _k in ret.succs)
+
+    def test_uncaught_raise_reaches_raise_exit(self):
+        cfg = self._cfg("def f():\n    raise ValueError()\n")
+        blk = cfg.stmt_blocks()[0]
+        assert any(b is cfg.raise_exit for b, _k in blk.succs)
+
+    def test_call_in_try_gets_exception_edge_to_handler(self):
+        cfg = self._cfg(
+            """
+            def f(x):
+                try:
+                    x.run()
+                except RuntimeError:
+                    x.cleanup()
+            """
+        )
+        handler = next(b for b in cfg.blocks if b.role == "handler")
+        call = next(b for b in cfg.stmt_blocks() if b.line == 4)
+        assert any(b is handler for b, _k in call.succs)
+
+    def test_call_outside_try_has_no_exception_edge(self):
+        cfg = self._cfg("def f(x):\n    x.run()\n    return 1\n")
+        call = cfg.stmt_blocks()[0]
+        assert all(b is not cfg.raise_exit for b, _k in call.succs)
+
+    def test_finally_runs_on_return_path(self):
+        cfg = self._cfg(
+            """
+            def f(x):
+                try:
+                    return x.run()
+                finally:
+                    x.cleanup()
+            """
+        )
+        # the return statement must flow through the finally body, not
+        # jump straight to the exit
+        ret = next(b for b in cfg.stmt_blocks() if b.line == 4)
+        assert all(b is not cfg.exit for b, _k in ret.succs)
+        fin = [b for b in cfg.stmt_blocks() if b.line == 6]
+        assert any(any(t is cfg.exit for t, _k in b.succs) for b in fin)
+
+    def test_while_loop_back_edge(self):
+        cfg = self._cfg(
+            """
+            def f(x):
+                while x.more():
+                    x.step()
+            """
+        )
+        head = next(b for b in cfg.blocks if b.role == "test")
+        body = next(b for b in cfg.stmt_blocks() if b.line == 4)
+        assert any(t is head and k == "loop" for t, k in body.succs)
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def _index(self, **files):
+        import ast
+
+        from repro.lint.callgraph import ProjectIndex, module_summary
+
+        summaries = [
+            module_summary(path, ast.parse(textwrap.dedent(src)))
+            for path, src in files.items()
+        ]
+        return ProjectIndex(summaries)
+
+    def test_plain_same_module_call_resolves(self):
+        idx = self._index(**{"m.py": "def g():\n    pass\ndef f():\n    g()\n"})
+        assert idx.callees(("m.py", "f")) == [(("m.py", "g"), 4)]
+
+    def test_self_method_resolves_in_class(self):
+        idx = self._index(
+            **{
+                "m.py": """
+                class C:
+                    def a(self):
+                        self.b()
+                    def b(self):
+                        pass
+                """
+            }
+        )
+        assert idx.callees(("m.py", "C.a")) == [(("m.py", "C.b"), 4)]
+
+    def test_scheduled_callback_is_root(self):
+        idx = self._index(
+            **{"m.py": "def cb():\n    pass\ndef go(sim):\n    sim.schedule_after(1.0, cb)\n"}
+        )
+        assert (("m.py", "cb") in {k for k, _line in idx.roots()})
+
+    def test_hook_methods_are_roots(self):
+        idx = self._index(
+            **{"m.py": "class N:\n    def on_tick(self):\n        pass\n"}
+        )
+        assert ("m.py", "N.on_tick") in {k for k, _line in idx.roots()}
+
+    def test_ambiguous_method_not_resolved(self):
+        idx = self._index(
+            **{
+                "a.py": "class A:\n    def go(self):\n        pass\n",
+                "b.py": "class B:\n    def go(self):\n        pass\n",
+                "c.py": "def f(x):\n    x.go()\n",
+            }
+        )
+        assert idx.callees(("c.py", "f")) == []
+
+
+# ----------------------------------------------------------------------
+# DET005 — transitive determinism closure
+# ----------------------------------------------------------------------
+class TestDet005:
+    def test_chain_two_calls_deep_is_flagged_with_full_chain(self):
+        vs = lint_fixture("det005_chain.py", select=["DET005"])
+        assert codes(vs) == ["DET005"]
+        msg = vs[0].message
+        assert "on_retry -> backoff -> jitter" in msg
+        assert "random.random" in msg
+        assert "sim.rng" in msg
+
+    def test_same_shape_through_sim_rng_is_clean(self):
+        assert lint_fixture("det005_clean.py", select=["DET005"]) == []
+
+    def test_sanctioned_sink_produces_no_chain(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            textwrap.dedent(
+                """
+                import time
+
+
+                def stamp():
+                    return time.time()  # lint: ok(DET001): operator display
+
+
+                def cb():
+                    return stamp()
+
+
+                def go(sim):
+                    sim.schedule_after(1.0, cb)
+                """
+            )
+        )
+        assert lint_paths([tmp_path], allowlist=(), select=["DET005"]) == []
+
+    def test_violation_anchored_at_callback_first_hop(self):
+        vs = lint_fixture("det005_chain.py", select=["DET005"])
+        # the anchor is the call line inside on_retry, where sim-safe
+        # territory is left — suppressible at the root, not the sink
+        assert vs[0].line == 21
+
+
+# ----------------------------------------------------------------------
+# RES001 — acquire/release pairing
+# ----------------------------------------------------------------------
+class TestRes001:
+    def test_exception_path_vacate_leak_flagged(self):
+        vs = lint_fixture("res001_leak.py", select=["RES001"])
+        assert codes(vs) == ["RES001"]
+        assert "occupy" in vs[0].message and "vacate" in vs[0].message
+        assert vs[0].line == 9  # the acquire, in run_once only
+
+    def test_try_finally_release_is_clean(self):
+        vs = lint(
+            """
+            def f(host, task):
+                host.occupy(task)
+                try:
+                    return task.run()
+                finally:
+                    host.vacate(task)
+            """,
+            only="RES001",
+        )
+        assert vs == []
+
+    def test_early_return_leak_flagged(self):
+        vs = lint(
+            """
+            def f(host, task):
+                host.occupy(task)
+                if task.bad:
+                    return None
+                host.vacate(task)
+            """,
+            only="RES001",
+        )
+        assert codes(vs) == ["RES001"]
+
+    def test_conditional_acquire_failure_path_not_required(self):
+        vs = lint(
+            """
+            def f(ctl, spec):
+                ok = ctl.request_admission(spec)
+                if not ok:
+                    return False
+                ctl.release(spec.name)
+                return True
+            """,
+            only="RES001",
+        )
+        assert vs == []
+
+    def test_ownership_transfer_satisfies_path(self):
+        vs = lint(
+            """
+            def f(self, host, job):
+                host.occupy(job)
+                if job.fast:
+                    host.vacate(job)
+                    return
+                self._active.append(job)
+            """,
+            only="RES001",
+        )
+        assert vs == []
+
+    def test_split_callback_protocol_not_flagged(self):
+        vs = lint(
+            """
+            def start(self, host, job):
+                host.occupy(job)
+                self.schedule(job)
+            """,
+            only="RES001",
+        )
+        assert vs == []
+
+    def test_release_only_rotation_not_flagged(self):
+        # release-old-then-grant-new: the new holding is long-lived
+        vs = lint(
+            """
+            def rotate(self, sup, dest):
+                for h in list(sup.leases):
+                    sup.release(h)
+                sup.grant(dest)
+            """,
+            only="RES001",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# PRO001 — protocol FSM discipline
+# ----------------------------------------------------------------------
+class TestPro001:
+    def test_phase_method_early_exit_flagged(self):
+        vs = lint_fixture("pro001_missing_abort.py", select=["PRO001"])
+        assert "PRO001" in codes(vs)
+        exit_findings = [v for v in vs if "exit" in v.message]
+        assert len(exit_findings) == 1
+        assert exit_findings[0].line == 20  # the non-guard return in _prepare
+
+    def test_ctor_with_commit_but_no_abort_flagged(self):
+        vs = lint_fixture("pro001_missing_abort.py", select=["PRO001"])
+        ctor = [v for v in vs if "on_abort" in v.message]
+        assert len(ctor) == 1 and ctor[0].line == 36
+
+    def test_guard_return_is_legal(self):
+        vs = lint(
+            """
+            class M:
+                def _prepare(self, t):
+                    if self.inflight.get(t.name) is not t:
+                        return
+                    self._commit(t)
+                def _commit(self, t):
+                    del self.inflight[t.name]
+                def _abort_rollback(self, t):
+                    del self.inflight[t.name]
+            """,
+            only="PRO001",
+        )
+        assert vs == []
+
+    def test_scheduling_next_phase_via_lambda_is_action(self):
+        vs = lint(
+            """
+            class M:
+                def _prepare(self, t):
+                    self._after(0.1, lambda: self._commit(t))
+                def _commit(self, t):
+                    del self.inflight[t.name]
+                def _abort_rollback(self, t):
+                    del self.inflight[t.name]
+            """,
+            only="PRO001",
+        )
+        assert vs == []
+
+    def test_non_protocol_class_ignored(self):
+        vs = lint(
+            """
+            class Helper:
+                def prepare_report(self):
+                    return 1
+                def commit_to_memory(self):
+                    return 2
+            """,
+            only="PRO001",
+        )
+        assert vs == []
+
+    def test_discarded_request_result_flagged(self):
+        vs = lint(
+            """
+            def move(self, name, dest):
+                self.migrator.request(name, dest)
+            """,
+            only="PRO001",
+        )
+        assert codes(vs) == ["PRO001"]
+        assert "discarded" in vs[0].message
+
+    def test_checked_request_result_clean(self):
+        vs = lint(
+            """
+            def move(self, name, dest):
+                if not self.migrator.request(name, dest):
+                    self.refused += 1
+            """,
+            only="PRO001",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# SIM005 — event lifecycle misuse
+# ----------------------------------------------------------------------
+class TestSim005:
+    def test_fixture_flags_all_three_misuses(self):
+        vs = lint_fixture("sim005_stale_handle.py", select=["SIM005"])
+        assert codes(vs) == ["SIM005", "SIM005", "SIM005"]
+        msgs = " | ".join(v.message for v in vs)
+        assert "no evidence" in msgs
+        assert "time" in msgs
+        assert "container" in msgs
+
+    def test_repush_after_pop_is_clean(self):
+        vs = lint(
+            """
+            def drain(queue):
+                h = queue.pop()
+                t = h.time
+                queue.repush(h, t + 5.0)
+            """,
+            only="SIM005",
+        )
+        assert vs == []
+
+    def test_repush_guarded_by_fired_is_clean(self):
+        vs = lint(
+            """
+            def rearm(self, queue):
+                if self.tick.fired:
+                    queue.repush(self.tick, 5.0)
+            """,
+            only="SIM005",
+        )
+        assert vs == []
+
+    def test_reschedule_after_needs_no_evidence(self):
+        vs = lint(
+            """
+            def rearm(self, queue):
+                queue.reschedule_after(self.tick, 5.0)
+            """,
+            only="SIM005",
+        )
+        assert vs == []
+
+    def test_time_read_before_rearm_is_clean(self):
+        vs = lint(
+            """
+            def tick(self, queue):
+                h = queue.pop()
+                self.last = h.time
+                queue.repush(h, self.last + 1.0)
+            """,
+            only="SIM005",
+        )
+        assert vs == []
+
+    def test_attribute_binding_of_rearm_result_is_clean(self):
+        vs = lint(
+            """
+            def rearm(self, queue):
+                self._tick = queue.reschedule_after(self._tick, 1.0)
+            """,
+            only="SIM005",
+        )
+        assert vs == []
+
+
+# ----------------------------------------------------------------------
+# LNT001 — stale suppressions
+# ----------------------------------------------------------------------
+class TestLnt001:
+    def test_stale_and_reasonless_flagged_used_with_reason_clean(self):
+        vs = lint_fixture("lnt001_stale.py")
+        lnt = [v for v in vs if v.code == "LNT001"]
+        assert len(lnt) == 2
+        assert {v.line for v in lnt} == {7, 11}
+        msgs = {v.line: v.message for v in lnt}
+        assert "stale" in msgs[7]
+        assert "reason" in msgs[11]
+
+    def test_select_subset_does_not_false_flag(self, tmp_path):
+        # a SIM002 suppression cannot be judged by a DET-only run
+        (tmp_path / "m.py").write_text(
+            "def f(a, b):\n    return a == b  # lint: ok(SIM002): exact ns\n"
+        )
+        vs = lint_paths([tmp_path], allowlist=(), select=["DET001", "LNT001"])
+        assert vs == []
+
+    def test_fix_suppressions_strips_stale_comment(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "m.py"
+        f.write_text("def f():\n    return 1  # lint: ok(DET001): stale\n")
+        assert lint_main([str(f), "--fix-suppressions", "--no-cache"]) == 0
+        assert f.read_text() == "def f():\n    return 1\n"
+
+    def test_fix_suppressions_narrows_partial(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import time\n"
+            "t = time.time()  # lint: ok(DET001, SIM002): wall display\n"
+        )
+        assert lint_main([str(f), "--fix-suppressions", "--no-cache"]) == 0
+        assert "ok(DET001): wall display" in f.read_text()
+        assert "SIM002" not in f.read_text()
+
+    def test_standalone_stale_file_ok_line_is_dropped(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "m.py"
+        f.write_text("# lint: file-ok(DET001): nothing here\nx = 1\n")
+        assert lint_main([str(f), "--fix-suppressions", "--no-cache"]) == 0
+        assert f.read_text() == "x = 1\n"
+
+
+# ----------------------------------------------------------------------
+# Baseline mode
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_baselined_violations_pass_new_ones_fail(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "m.py"
+        f.write_text("import time\nt = time.time()\n")
+        base = tmp_path / "base.json"
+        assert lint_main([str(f), "--write-baseline", str(base), "--no-cache"]) == 0
+        assert lint_main([str(f), "--baseline", str(base), "--no-cache"]) == 0
+        # a second wall-clock read is new and must fail
+        f.write_text("import time\nt = time.time()\nu = time.time()\n")
+        assert lint_main([str(f), "--baseline", str(base), "--no-cache"]) == 1
+
+    def test_baseline_robust_to_line_churn(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "m.py"
+        f.write_text("import time\nt = time.time()\n")
+        base = tmp_path / "base.json"
+        assert lint_main([str(f), "--write-baseline", str(base), "--no-cache"]) == 0
+        f.write_text("import time\n\n\n\nt = time.time()\n")
+        assert lint_main([str(f), "--baseline", str(base), "--no-cache"]) == 0
+
+    def test_api_roundtrip(self, tmp_path):
+        from repro.lint import filter_new, load_baseline, write_baseline
+
+        vs = [
+            Violation(path="a.py", line=1, col=0, code="DET001", message="m"),
+            Violation(path="a.py", line=9, col=0, code="DET001", message="m"),
+        ]
+        p = tmp_path / "b.json"
+        write_baseline(vs, p)
+        assert filter_new(vs, load_baseline(p)) == []
+        extra = vs + [Violation(path="a.py", line=20, col=0, code="DET001", message="m")]
+        assert len(filter_new(extra, load_baseline(p))) == 1
+
+
+# ----------------------------------------------------------------------
+# Incremental cache
+# ----------------------------------------------------------------------
+class TestLintCache:
+    def test_warm_run_hits_and_matches_cold(self, tmp_path):
+        from repro.lint import run_lint
+
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "m.py").write_text("import time\nt = time.time()\n")
+        cache = tmp_path / "cache"
+        cold = run_lint([src], allowlist=(), cache_dir=cache)
+        assert cold.cache is not None and cold.cache.hits == 0
+        warm = run_lint([src], allowlist=(), cache_dir=cache)
+        assert warm.cache is not None and warm.cache.hits == 1
+        assert warm.violations == cold.violations
+
+    def test_edited_file_reanalyzed(self, tmp_path):
+        from repro.lint import run_lint
+
+        src = tmp_path / "src"
+        src.mkdir()
+        f = src / "m.py"
+        f.write_text("import time\nt = time.time()\n")
+        cache = tmp_path / "cache"
+        run_lint([src], allowlist=(), cache_dir=cache)
+        f.write_text("x = 1\n")
+        rerun = run_lint([src], allowlist=(), cache_dir=cache)
+        assert rerun.violations == []
+        assert rerun.cache is not None and rerun.cache.hits == 0
+
+    def test_suppression_change_seen_despite_cache(self, tmp_path):
+        # suppressions are applied live; editing one invalidates the
+        # content hash anyway, but the filtered result must track it
+        from repro.lint import run_lint
+
+        src = tmp_path / "src"
+        src.mkdir()
+        f = src / "m.py"
+        f.write_text("import time\nt = time.time()\n")
+        cache = tmp_path / "cache"
+        assert run_lint([src], allowlist=(), cache_dir=cache).violations != []
+        f.write_text("import time\nt = time.time()  # lint: ok(DET001): demo\n")
+        assert run_lint([src], allowlist=(), cache_dir=cache).violations == []
+
+
+# ----------------------------------------------------------------------
+# Typing discipline — mirrors pyproject's disallow_untyped_defs overrides
+# ----------------------------------------------------------------------
+STRICT_PACKAGES = ("sim", "telemetry", "hybrid", "sites", "obs")
+
+
+@pytest.mark.parametrize("pkg", STRICT_PACKAGES)
+def test_strict_packages_have_fully_annotated_defs(pkg):
+    """Every def in the strict-typed packages carries full annotations.
+
+    mypy enforces this in CI (``disallow_untyped_defs``); this AST pass
+    keeps the invariant testable where mypy is not installed.
+    """
+    import ast
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent / "src" / "repro" / pkg
+    missing: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            params = args.posonlyargs + args.args + args.kwonlyargs
+            holes = [
+                a.arg
+                for i, a in enumerate(params)
+                if a.annotation is None and not (i == 0 and a.arg in ("self", "cls"))
+            ]
+            holes += [
+                "*" + a.arg
+                for a in (args.vararg, args.kwarg)
+                if a is not None and a.annotation is None
+            ]
+            if node.returns is None:
+                holes.append("return")
+            if holes:
+                missing.append(f"{path.name}:{node.lineno} {node.name}: {holes}")
+    assert missing == [], "\n".join(missing)

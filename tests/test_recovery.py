@@ -750,3 +750,68 @@ class TestInstrumentRecovery:
         manager.start()
         sim.run(until=2.0)  # no telemetry attached anywhere; no crashes
         assert manager.mode == "full_offload"
+
+
+class TestSwitcherMigratorContract:
+    """Regressions for the PRO001 sweep: the Switcher must observe both
+    migrator outcomes (commit *and* abort) and the refusal of request().
+
+    Before the sweep, ``attach_recovery`` wired ``on_commit`` only — an
+    aborted migration (and the pause it cost) vanished from the record —
+    and ``Switcher._move`` discarded the bool from ``request()``, so a
+    refused transaction looked identical to an accepted one.
+    """
+
+    def test_aborted_migration_is_recorded_on_switcher(self):
+        from repro.core.switcher import Switcher
+
+        tp = ScriptedTransport(rtt_default=10.0)  # prepare never lands
+        sim, graph, tp, lgv, gw, node, mig, store = make_2pc(transport=tp)
+        sw = Switcher(graph, lgv, gw)
+        mig.on_abort = sw.record_aborted_migration
+        sw.migrator = mig
+        assert mig.request("stateful", gw)
+        sim.run()
+        assert mig.aborts == 1
+        assert [(name, why) for _t, name, why in sw.aborted] == [
+            ("stateful", "prepare_timeout")
+        ]
+        assert sw.records == []  # nothing committed, nothing fabricated
+
+    def test_attach_recovery_wires_abort_callback(self):
+        from types import SimpleNamespace
+
+        from repro.core.switcher import Switcher
+        from repro.recovery import attach_recovery
+
+        sim = Simulator()
+        graph = Graph(sim, ScriptedTransport())
+        lgv = Host("lgv", TURTLEBOT3_PI, on_robot=True)
+        gw = Host("gw", EDGE_GATEWAY)
+        graph.add_node(StatefulNode("w"), lgv)
+        switcher = Switcher(graph, lgv, gw)
+        framework = SimpleNamespace(
+            graph=graph,
+            switcher=switcher,
+            controller=StubController(),
+            lgv_host=lgv,
+            classification=SimpleNamespace(offload_for_time=("w",)),
+        )
+        manager = attach_recovery(framework, FakeFabric(), config=FAST)
+        assert manager.migrator.on_commit == switcher.record_migration
+        assert manager.migrator.on_abort == switcher.record_aborted_migration
+
+    def test_refused_request_is_counted_not_dropped(self):
+        from repro.core.switcher import Switcher
+
+        tp = ScriptedTransport(rtt_default=0.01, send_default=0.01)
+        sim, graph, tp, lgv, gw, node, mig, store = make_2pc(transport=tp)
+        sw = Switcher(graph, lgv, gw)
+        sw.migrator = mig
+        assert sw._move("stateful", gw) == 0.0  # async: pause lands at commit
+        assert sw.refused_requests == 0
+        # a second decision while the transaction is still in flight
+        assert sw._move("stateful", gw) == 0.0
+        assert sw.refused_requests == 1
+        sim.run()
+        assert mig.commits == 1  # the refusal never spawned a duplicate
